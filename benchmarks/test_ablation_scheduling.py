@@ -1,0 +1,102 @@
+"""Ablation: scheduling policy and the hybrid COARSE/PRECISE dependency policy.
+
+Section 4.1 allows interleaving at step or stratum granularity and Section 5.2
+discusses the choice; Section 6 sketches a per-update hybrid of COARSE and
+PRECISE.  These benchmarks compare the alternatives on one conflict-heavy cell
+of the synthetic workload.
+"""
+
+import pytest
+
+from repro.concurrency.dependencies import CoarseTracker, HybridTracker, PreciseTracker
+from repro.concurrency.optimistic import OptimisticScheduler
+from repro.concurrency.policies import (
+    LowestPriorityFirstPolicy,
+    RoundRobinStepPolicy,
+    RoundRobinStratumPolicy,
+)
+from repro.core.oracle import RandomOracle
+from repro.core.terms import NullFactory
+from repro.storage.versioned import VersionedDatabase
+from repro.workload import INSERT_WORKLOAD, build_workload
+from repro.workload.mapping_gen import mapping_prefix
+
+
+def _run(environment, mapping_count, tracker, policy, seed=77, promote=False):
+    mappings = mapping_prefix(environment.mappings, mapping_count)
+    operations = build_workload(environment, INSERT_WORKLOAD, seed)
+    store = VersionedDatabase(environment.schema)
+    store.load_initial(environment.initial)
+    scheduler = OptimisticScheduler(
+        store=store,
+        mappings=mappings,
+        tracker=tracker,
+        oracle=RandomOracle(seed=seed),
+        policy=policy,
+        null_factory=NullFactory.avoiding_view(environment.initial, prefix="g"),
+        promote_restarts_to_precise=promote,
+    )
+    scheduler.submit_all(operations)
+    return scheduler.run()
+
+
+@pytest.fixture(scope="module")
+def dense_count(experiment_config):
+    return max(experiment_config.mapping_counts)
+
+
+def test_ablation_step_vs_stratum_scheduling(benchmark, environment, dense_count):
+    """Step-level vs stratum-level vs near-serial scheduling, COARSE dependencies."""
+
+    def run_all():
+        return {
+            "step": _run(environment, dense_count, CoarseTracker(), RoundRobinStepPolicy()),
+            "stratum": _run(environment, dense_count, CoarseTracker(), RoundRobinStratumPolicy()),
+            "serial": _run(environment, dense_count, CoarseTracker(), LowestPriorityFirstPolicy()),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print("Ablation — scheduling policy (COARSE, densest mapping setting):")
+    for name, stats in results.items():
+        print(
+            "  {:<8} aborts={:<5} cascading-requests={:<5} steps={}".format(
+                name, stats.aborts, stats.cascading_abort_requests, stats.steps
+            )
+        )
+    # Near-serial execution eliminates aborts entirely; interleaved policies pay
+    # for their concurrency with aborts.
+    assert results["serial"].aborts == 0
+    assert results["step"].aborts >= results["serial"].aborts
+    assert results["stratum"].aborts >= results["serial"].aborts
+
+
+def test_ablation_hybrid_dependency_policy(benchmark, environment, dense_count):
+    """COARSE vs PRECISE vs the hybrid that promotes restarted updates to PRECISE."""
+
+    def run_all():
+        return {
+            "COARSE": _run(environment, dense_count, CoarseTracker(), RoundRobinStepPolicy()),
+            "PRECISE": _run(environment, dense_count, PreciseTracker(), RoundRobinStepPolicy()),
+            "HYBRID": _run(
+                environment,
+                dense_count,
+                HybridTracker(),
+                RoundRobinStepPolicy(),
+                promote=True,
+            ),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print("Ablation — dependency policy (densest mapping setting):")
+    for name, stats in results.items():
+        print(
+            "  {:<8} aborts={:<5} cascading-requests={:<5} tracker-cost={}".format(
+                name, stats.aborts, stats.cascading_abort_requests, stats.tracker_cost_units
+            )
+        )
+    # The hybrid sits between the two pure policies in tracker cost while
+    # keeping aborts no worse than COARSE.
+    assert results["PRECISE"].aborts <= results["COARSE"].aborts
+    assert results["HYBRID"].aborts <= results["COARSE"].aborts * 1.5 + 5

@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the chase substrate itself.
+
+Not a figure of the paper, but useful context for the experiment numbers: how
+fast a single chase runs on the travel fixture, and how the in-memory
+violation-query evaluator compares with the SQLite-generated SQL (the backend
+ablation called out in DESIGN.md).
+"""
+
+from repro.core import ChaseEngine, InsertOperation, RandomOracle, make_tuple
+from repro.fixtures import travel_mappings, travel_repository, travel_tuples, travel_schema
+from repro.query.violation_query import ViolationQuery
+from repro.storage.sqlite_backend import SQLiteDatabase
+
+
+def test_forward_chase_on_travel_fixture(benchmark):
+    """End-to-end cost of the Example 1.1 update (insert a tour, chase to completion)."""
+
+    def run_once():
+        database, mappings = travel_repository()
+        engine = ChaseEngine(database, mappings, oracle=RandomOracle(seed=0))
+        record = engine.run(
+            InsertOperation(make_tuple("T", "Niagara Falls", "ABC Tours", "Toronto"))
+        )
+        assert record.terminated
+        return record.write_count
+
+    writes = benchmark(run_once)
+    assert writes == 2
+
+
+def test_violation_query_memory_backend(benchmark, travel_state=None):
+    """In-memory evaluation of every mapping's (unseeded) violation query."""
+    database, mappings = travel_repository()
+    database.delete(make_tuple("R", "XYZ", "Geneva Winery", "Great!"))
+
+    def evaluate_all():
+        return sum(len(ViolationQuery(tgd).evaluate(database)) for tgd in mappings)
+
+    violations = benchmark(evaluate_all)
+    assert violations == 1
+
+
+def test_violation_query_sqlite_backend(benchmark):
+    """The same violation queries evaluated through generated SQL on SQLite."""
+    database = SQLiteDatabase(travel_schema())
+    for row in travel_tuples():
+        database.insert(row)
+    database.delete(make_tuple("R", "XYZ", "Geneva Winery", "Great!"))
+    mappings = travel_mappings()
+
+    def evaluate_all():
+        return sum(len(database.evaluate_violation_sql(tgd)) for tgd in mappings)
+
+    violations = benchmark(evaluate_all)
+    assert violations == 1
+    database.close()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Controlled non-termination: the genealogy example of Section 2.2.
+
+The mapping ``Person(x) -> exists y . Father(x, y), Person(y)`` is cyclic and
+is rejected by classical update-exchange systems because the standard chase
+never terminates on it.  In Youtopia the chase stops at a frontier after each
+firing, so the "non-termination" becomes a feature: users can keep adding
+ancestors for as long as they have information, or close the chain by unifying.
+
+Run with::
+
+    python examples/genealogy.py
+"""
+
+from repro import ChaseEngine, InsertOperation, make_tuple, satisfies_all
+from repro.core import AlwaysUnifyOracle, ChaseConfig, ScriptedOracle
+from repro.core.frontier import ExpandOperation, PositiveFrontierRequest, UnifyOperation
+from repro.core.tgd import is_weakly_acyclic
+from repro.fixtures import genealogy_repository
+
+
+def expand_everything(request, view):
+    """A user who keeps supplying new (unnamed) ancestors."""
+    assert isinstance(request, PositiveFrontierRequest)
+    return ExpandOperation(request.frontier_tuples[0])
+
+
+def close_the_loop(request, view):
+    """A user who decides the unknown ancestor is someone already recorded."""
+    assert isinstance(request, PositiveFrontierRequest)
+    for frontier_tuple in request.frontier_tuples:
+        if frontier_tuple.candidates:
+            return UnifyOperation(frontier_tuple, frontier_tuple.candidates[0])
+    return ExpandOperation(request.frontier_tuples[0])
+
+
+def main() -> None:
+    database, mappings = genealogy_repository()
+    print("Mapping:", list(mappings)[0].to_string())
+    print("Weakly acyclic (classical chase would terminate):", is_weakly_acyclic(list(mappings)))
+    print()
+
+    # --- A user who keeps expanding: four generations of ancestors ------
+    script = [expand_everything] * 8 + [close_the_loop]
+    engine = ChaseEngine(
+        database,
+        mappings,
+        oracle=ScriptedOracle(script),
+        config=ChaseConfig(max_frontier_operations=9),
+    )
+    record = engine.run(InsertOperation(make_tuple("Person", "John")))
+    print("After inserting Person(John) with an expanding user:")
+    print("  ", record.summary())
+    for row in sorted(database.tuples("Father"), key=repr):
+        print("   ", row)
+    print("  persons recorded:", database.count("Person"))
+    print("  satisfied:", satisfies_all(mappings, database))
+    print()
+
+    # --- A conservative user: the chase terminates immediately ----------
+    database2, mappings2 = genealogy_repository()
+    engine2 = ChaseEngine(database2, mappings2, oracle=AlwaysUnifyOracle())
+    record2 = engine2.run(InsertOperation(make_tuple("Person", "Ada")))
+    print("Same insertion with a user who always unifies:")
+    print("  ", record2.summary())
+    for row in sorted(database2.tuples("Father"), key=repr):
+        print("   ", row)
+    print("  satisfied:", satisfies_all(mappings2, database2))
+
+
+if __name__ == "__main__":
+    main()

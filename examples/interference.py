@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Example 3.1: interference between concurrent updates, and how it is prevented.
+
+Two real-world events hit the travel repository at the same time:
+
+* ``u1`` — company XYZ discontinues its Geneva Winery tours; the review tuple
+  is deleted, setting off a backward chase that needs a human decision;
+* ``u2`` — a new conference ("Math Conf") is scheduled in Syracuse; the insert
+  sets off a forward chase that recommends excursions based on the tours
+  starting there.
+
+If ``u2`` reads the tours table while ``u1`` is still waiting for its frontier
+operation, it recommends an excursion to a tour that is about to disappear —
+a final state no serial execution could produce.  The optimistic scheduler
+detects exactly this: when ``u1``'s deletion of the tour retroactively changes
+the answer to ``u2``'s logged violation query, ``u2`` is aborted and restarted,
+and the final state matches the serial order u1 → u2.
+
+Run with::
+
+    python examples/interference.py
+"""
+
+from repro import DeleteOperation, InsertOperation, make_tuple
+from repro.concurrency import (
+    SerialExecutor,
+    databases_isomorphic,
+    make_tracker,
+    run_concurrent_updates,
+)
+from repro.core import ScriptedOracle
+from repro.core.frontier import DeleteSubsetOperation, NegativeFrontierRequest
+from repro.fixtures import travel_repository
+
+
+def delete_the_tour(request, view):
+    """u1's owner decides the tour tuple itself must go (step 4 of Example 3.1)."""
+    assert isinstance(request, NegativeFrontierRequest)
+    for candidate in request.candidates:
+        if candidate.relation == "T":
+            return DeleteSubsetOperation((candidate,))
+    return DeleteSubsetOperation((request.candidates[0],))
+
+
+def main() -> None:
+    database, mappings = travel_repository()
+    initial = database.snapshot()
+
+    u1 = DeleteOperation(make_tuple("R", "XYZ", "Geneva Winery", "Great!"))
+    u2 = InsertOperation(make_tuple("V", "Syracuse", "Math Conf"))
+
+    # --- What the unsafe interleaving would produce ----------------------
+    # Serial references for both orders, using the same frontier decision.
+    serial = SerialExecutor(initial, mappings, oracle_factory=lambda: ScriptedOracle([delete_the_tour]))
+    after_u1_then_u2 = serial.run([u1, u2])
+    print("Serial u1 -> u2 leaves excursion ideas:")
+    for row in sorted(after_u1_then_u2.tuples("E"), key=repr):
+        print("  ", row)
+    print()
+
+    # --- The optimistic scheduler on the same two updates ----------------
+    for algorithm in ("NAIVE", "COARSE", "PRECISE"):
+        scheduler = run_concurrent_updates(
+            initial,
+            mappings,
+            [u1, u2],
+            tracker=make_tracker(algorithm),
+            oracle=ScriptedOracle([delete_the_tour, delete_the_tour, delete_the_tour]),
+        )
+        statistics = scheduler.statistics
+        final = scheduler.final_database()
+        print(
+            "{:<7}: aborts={} cascading-requests={} updates-executed={}".format(
+                algorithm,
+                statistics.aborts,
+                statistics.cascading_abort_requests,
+                statistics.updates_executed,
+            )
+        )
+        print("  excursion ideas after the run:")
+        for row in sorted(final.tuples("E"), key=repr):
+            print("    ", row)
+        print(
+            "  final state matches the serial order u1 -> u2:",
+            databases_isomorphic(final, after_u1_then_u2),
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

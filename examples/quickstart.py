@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Example 1.1 on the Figure 2 travel repository.
+
+Company "ABC Tours" starts running tours to Niagara Falls.  Inserting the
+tuple ``T(Niagara Falls, ABC Tours, Toronto)`` violates mapping σ3 ("whenever
+a company offers tours of an attraction, the tour is reviewed"); the forward
+chase repairs the violation by inserting ``R(ABC Tours, Niagara Falls, x3)``
+with a fresh labeled null standing for the not-yet-written review, which a
+user later fills in with a null-replacement.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ChaseEngine,
+    InsertOperation,
+    NullReplacementOperation,
+    RandomOracle,
+    make_tuple,
+    satisfies_all,
+)
+from repro.core.terms import LabeledNull
+from repro.storage.interface import dump_sorted
+from repro.fixtures import travel_repository
+
+
+def main() -> None:
+    database, mappings = travel_repository()
+    print("Initial repository satisfies all mappings:", satisfies_all(mappings, database))
+    print()
+
+    engine = ChaseEngine(database, mappings, oracle=RandomOracle(seed=0))
+
+    # --- Example 1.1: a new tour appears --------------------------------
+    new_tour = make_tuple("T", "Niagara Falls", "ABC Tours", "Toronto")
+    record = engine.run(InsertOperation(new_tour))
+    print("Update:", record.summary())
+    print("Chase provenance:")
+    print(engine.last_provenance.to_text())
+    print()
+    print("Tour reviews after the chase:")
+    for row in sorted(database.tuples("R"), key=repr):
+        print("  ", row)
+    print()
+
+    # --- A user later supplies the missing review -----------------------
+    review_null = next(
+        null
+        for row in database.tuples("R")
+        for null in row.null_set()
+        if row.values[0] == make_tuple("R", "ABC Tours", "x", "y").values[0]
+    )
+    record = engine.run(NullReplacementOperation(review_null, "Breathtaking falls!"))
+    print("Update:", record.summary())
+    print()
+    print("Tour reviews after the null-replacement:")
+    for row in sorted(database.tuples("R"), key=repr):
+        print("  ", row)
+    print()
+
+    print("Repository still satisfies all mappings:", satisfies_all(mappings, database))
+    print()
+    print("Full repository contents:")
+    for line in dump_sorted(database):
+        print("  ", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""The travel repository end to end: forward chase, cycles, backward chase.
+
+Walks through the scenarios of Sections 2.2 and 2.3 on the Figure 2
+repository:
+
+* adding JFK as a suggested airport for Ithaca triggers the σ1/σ2 mapping
+  cycle; the chase stops at a positive frontier instead of looping forever,
+  and a scripted "user" unifies the ambiguous city tuple;
+* deleting the Geneva Winery review (Example 2.3) triggers a backward chase
+  with a negative frontier: the user chooses which witness tuple to delete.
+
+Run with::
+
+    python examples/travel_repository.py
+"""
+
+from repro import ChaseEngine, DeleteOperation, InsertOperation, make_tuple, satisfies_all
+from repro.core import ScriptedOracle
+from repro.core.frontier import (
+    DeleteSubsetOperation,
+    NegativeFrontierRequest,
+    PositiveFrontierRequest,
+    UnifyOperation,
+)
+from repro.fixtures import travel_repository
+
+
+def unify_with_nyc(request, view):
+    """The knowledgeable user of Section 2.2: the new airport's city *is* NYC."""
+    assert isinstance(request, PositiveFrontierRequest)
+    for frontier_tuple in request.frontier_tuples:
+        for candidate in frontier_tuple.candidates:
+            if candidate == make_tuple("C", "NYC"):
+                return UnifyOperation(frontier_tuple, candidate)
+    # Fall back to unifying with the first candidate of the first ambiguous tuple.
+    for frontier_tuple in request.frontier_tuples:
+        if frontier_tuple.candidates:
+            return UnifyOperation(frontier_tuple, frontier_tuple.candidates[0])
+    raise AssertionError("expected a unification candidate")
+
+
+def delete_the_tour(request, view):
+    """Example 2.3: the user decides the tour itself should disappear."""
+    assert isinstance(request, NegativeFrontierRequest)
+    for candidate in request.candidates:
+        if candidate.relation == "T":
+            return DeleteSubsetOperation((candidate,))
+    return DeleteSubsetOperation((request.candidates[0],))
+
+
+def scripted_user(request, view):
+    """One user persona for the whole walk-through.
+
+    Positive frontiers are answered by unifying the ambiguous city with NYC
+    (the Section 2.2 narrative); negative frontiers by deleting the tour
+    (the Example 2.3 decision).
+    """
+    if isinstance(request, PositiveFrontierRequest):
+        return unify_with_nyc(request, view)
+    return delete_the_tour(request, view)
+
+
+def show(database, relation):
+    print("  {}:".format(relation))
+    for row in sorted(database.tuples(relation), key=repr):
+        print("    ", row)
+
+
+def main() -> None:
+    database, mappings = travel_repository()
+    print("Mapping graph has a cycle:", mappings.has_cycle())
+    print("Mapping set is weakly acyclic:", mappings.is_weakly_acyclic())
+    print()
+
+    # --- Cyclic mappings: the JFK example of Section 2.2 ----------------
+    oracle = ScriptedOracle([scripted_user] * 6)
+    engine = ChaseEngine(database, mappings, oracle=oracle)
+    record = engine.run(InsertOperation(make_tuple("S", "JFK", "NYC", "Ithaca")))
+    print("After inserting S(JFK, NYC, Ithaca):", record.summary())
+    show(database, "C")
+    show(database, "S")
+    print("  satisfied:", satisfies_all(mappings, database))
+    print()
+
+    # --- Example 2.3: backward chase with a negative frontier -----------
+    record = engine.run(
+        DeleteOperation(make_tuple("R", "XYZ", "Geneva Winery", "Great!"))
+    )
+    print("After deleting the Geneva Winery review:", record.summary())
+    show(database, "A")
+    show(database, "T")
+    show(database, "R")
+    print("  satisfied:", satisfies_all(mappings, database))
+    print()
+    print("Frontier operations performed by the scripted user:")
+    for operation in record.frontier_operations:
+        print("  ", operation.describe())
+
+
+if __name__ == "__main__":
+    main()

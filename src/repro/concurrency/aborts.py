@@ -1,0 +1,157 @@
+"""Abort bookkeeping: cascading-abort computation and run statistics.
+
+The scheduler consolidates abort information per chase step (the paper notes
+that "aborts are not performed as soon as they are made necessary by a write,
+but only once control is returned to the scheduler").  Two quantities are
+reported by the experiments:
+
+* the total number of aborts actually performed, and
+* the number of *cascading abort requests* — requests to abort an update that
+  is **not** in direct conflict with a just-performed write.  An update may be
+  requested several times during one consolidation; every request counts,
+  which is why this metric separates COARSE from PRECISE so sharply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple as PyTuple
+
+from .dependencies import DependencyTracker
+from .readlog import ReadLog
+
+
+@dataclass
+class AbortDecision:
+    """The consolidated outcome of one conflict-processing pass."""
+
+    #: Updates to abort because a write directly invalidated one of their reads.
+    direct: Set[int] = field(default_factory=set)
+    #: Updates to abort because they (transitively) read from an aborted update.
+    cascading: Set[int] = field(default_factory=set)
+    #: Number of cascading abort requests issued while consolidating.
+    cascading_requests: int = 0
+
+    def all_victims(self) -> Set[int]:
+        """Every update that must be aborted."""
+        return self.direct | self.cascading
+
+
+def consolidate_aborts(
+    direct_conflicts: Set[int],
+    read_log: ReadLog,
+    tracker: DependencyTracker,
+    abortable: Set[int],
+) -> AbortDecision:
+    """Compute the full abort set implied by *direct_conflicts*.
+
+    With the NAIVE tracker every abortable update numbered above the smallest
+    direct victim is requested; otherwise the recorded read dependencies are
+    chased transitively: whenever update ``d`` is marked for abortion, every
+    abortable update with a read dependency on ``d`` is requested as well.
+    """
+    decision = AbortDecision(direct=set(direct_conflicts))
+    if not direct_conflicts:
+        return decision
+    if tracker.aborts_all_younger:
+        threshold = min(direct_conflicts)
+        for candidate in sorted(abortable):
+            if candidate > threshold and candidate not in direct_conflicts:
+                decision.cascading_requests += 1
+                decision.cascading.add(candidate)
+        return decision
+    worklist: List[int] = sorted(direct_conflicts)
+    condemned: Set[int] = set(direct_conflicts)
+    while worklist:
+        victim = worklist.pop(0)
+        for dependent in sorted(read_log.readers_depending_on(victim)):
+            if dependent not in abortable or dependent == victim:
+                continue
+            # Every request is counted, even for updates already condemned:
+            # the paper's metric counts requests, not distinct victims.
+            if dependent not in direct_conflicts:
+                decision.cascading_requests += 1
+            if dependent not in condemned:
+                condemned.add(dependent)
+                decision.cascading.add(dependent)
+                worklist.append(dependent)
+    return decision
+
+
+@dataclass
+class RunStatistics:
+    """Everything a concurrent run measures (feeds Figures 3 and 4)."""
+
+    #: Name of the dependency tracker used (NAIVE / COARSE / PRECISE / HYBRID).
+    algorithm: str = ""
+    #: Number of updates originally submitted.
+    updates_submitted: int = 0
+    #: Number of update executions that ran (submitted plus restarts).
+    updates_executed: int = 0
+    #: Number of updates that reached termination (including restarted ones).
+    updates_terminated: int = 0
+    #: Total aborts performed.
+    aborts: int = 0
+    #: Aborts whose victim was in direct conflict with a just-performed write.
+    direct_aborts: int = 0
+    #: Aborts performed purely because of cascading.
+    cascading_aborts: int = 0
+    #: Cascading abort requests issued (the paper's second panel).
+    cascading_abort_requests: int = 0
+    #: Chase steps executed.
+    steps: int = 0
+    #: Tuple-level writes applied.
+    writes: int = 0
+    #: Read queries logged.
+    read_queries: int = 0
+    #: Frontier operations consumed (simulated human interventions).
+    frontier_operations: int = 0
+    #: Work units spent by the dependency tracker.
+    tracker_cost_units: int = 0
+    #: Work units spent by direct-conflict checking (same for all algorithms).
+    conflict_cost_units: int = 0
+    #: Work units spent evaluating chase read queries.
+    chase_cost_units: int = 0
+    #: Wall-clock seconds for the whole run.
+    wall_seconds: float = 0.0
+
+    @property
+    def total_cost_units(self) -> int:
+        """Deterministic proxy for total execution work."""
+        return self.tracker_cost_units + self.conflict_cost_units + self.chase_cost_units
+
+    @property
+    def per_update_seconds(self) -> float:
+        """Wall-clock seconds per update execution (the paper's normalization)."""
+        executed = max(1, self.updates_executed)
+        return self.wall_seconds / executed
+
+    @property
+    def per_update_cost_units(self) -> float:
+        """Cost units per update execution (deterministic slowdown proxy)."""
+        executed = max(1, self.updates_executed)
+        return self.total_cost_units / executed
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary (used by the experiment harness and benchmarks)."""
+        return {
+            "algorithm": self.algorithm,
+            "updates_submitted": self.updates_submitted,
+            "updates_executed": self.updates_executed,
+            "updates_terminated": self.updates_terminated,
+            "aborts": self.aborts,
+            "direct_aborts": self.direct_aborts,
+            "cascading_aborts": self.cascading_aborts,
+            "cascading_abort_requests": self.cascading_abort_requests,
+            "steps": self.steps,
+            "writes": self.writes,
+            "read_queries": self.read_queries,
+            "frontier_operations": self.frontier_operations,
+            "tracker_cost_units": self.tracker_cost_units,
+            "conflict_cost_units": self.conflict_cost_units,
+            "chase_cost_units": self.chase_cost_units,
+            "total_cost_units": self.total_cost_units,
+            "wall_seconds": self.wall_seconds,
+            "per_update_seconds": self.per_update_seconds,
+            "per_update_cost_units": self.per_update_cost_units,
+        }

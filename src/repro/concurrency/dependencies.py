@@ -1,0 +1,201 @@
+"""Read-dependency trackers: NAIVE, COARSE, PRECISE (Section 5.1) and a hybrid.
+
+When an update issues a read query, the tracker determines which
+lower-numbered, still-abortable updates have performed writes that influence
+the answer.  Those are the update's *read dependencies*; when one of them is
+aborted, the reader must be aborted too (cascading abort).
+
+* :class:`NaiveTracker` records nothing; when an update aborts, every
+  still-abortable update with a higher number is requested to abort.
+* :class:`CoarseTracker` does not query the database: any abortable update
+  that previously wrote *any* tuple to one of the relations the query reads is
+  conservatively counted as a dependency.
+* :class:`PreciseTracker` checks, for every logged write of an abortable
+  lower-numbered update, whether the answer to the query would differ had the
+  write not been performed (an exact delta test, which for violation queries
+  touches the database).
+* :class:`HybridTracker` uses PRECISE for a chosen subset of updates (for
+  example updates that have already been aborted once) and COARSE for the
+  rest, as sketched at the end of Section 6.
+
+Every tracker accumulates ``cost_units`` — a deterministic proxy for the work
+it performs — which the experiment harness uses alongside wall-clock time for
+the PRECISE-slowdown panel of Figures 3 and 4.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Optional, Set
+
+from ..query.base import ReadQuery
+from ..storage.interface import DatabaseView
+from ..storage.versioned import VersionedDatabase, VersionedWrite
+
+
+class DependencyTracker(ABC):
+    """Computes read dependencies at read time."""
+
+    #: Machine-readable name used in experiment output ("NAIVE", "COARSE", ...).
+    name: str = "abstract"
+
+    #: ``True`` when cascading aborts must target every younger update because
+    #: no dependency information is recorded.
+    aborts_all_younger: bool = False
+
+    def __init__(self) -> None:
+        self.cost_units: int = 0
+        self.reads_processed: int = 0
+
+    @abstractmethod
+    def dependencies(
+        self,
+        query: ReadQuery,
+        reader: int,
+        store: VersionedDatabase,
+        view: DatabaseView,
+        abortable: Set[int],
+    ) -> Set[int]:
+        """Priorities of abortable updates (< *reader*) whose writes influence *query*."""
+
+    def reset(self) -> None:
+        """Zero the accumulated cost counters (between experiment runs)."""
+        self.cost_units = 0
+        self.reads_processed = 0
+
+    def _candidate_writes(
+        self, reader: int, store: VersionedDatabase, abortable: Set[int]
+    ) -> Iterable[VersionedWrite]:
+        """Logged writes by abortable updates numbered strictly below *reader*."""
+        for entry in store.write_log():
+            if entry.priority < reader and entry.priority in abortable:
+                yield entry
+
+
+class NaiveTracker(DependencyTracker):
+    """Record nothing; abort every younger update when cascading (strawman)."""
+
+    name = "NAIVE"
+    aborts_all_younger = True
+
+    def dependencies(
+        self,
+        query: ReadQuery,
+        reader: int,
+        store: VersionedDatabase,
+        view: DatabaseView,
+        abortable: Set[int],
+    ) -> Set[int]:
+        self.reads_processed += 1
+        # No work and no information: the cascade rule compensates by
+        # aborting every younger update.
+        return set()
+
+
+class CoarseTracker(DependencyTracker):
+    """Relation-level over-approximation, computed without touching the database."""
+
+    name = "COARSE"
+
+    def dependencies(
+        self,
+        query: ReadQuery,
+        reader: int,
+        store: VersionedDatabase,
+        view: DatabaseView,
+        abortable: Set[int],
+    ) -> Set[int]:
+        self.reads_processed += 1
+        relations = query.relations()
+        found: Set[int] = set()
+        for entry in self._candidate_writes(reader, store, abortable):
+            self.cost_units += 1
+            # Correction queries have an exact, database-free test; use it
+            # (the paper calls correction queries "the easy case").  Violation
+            # queries fall back to relation overlap.
+            if query.kind in ("more-specific", "null-occurrence"):
+                if query.might_be_affected_by(entry.write):
+                    found.add(entry.priority)
+            elif entry.write.relation in relations:
+                found.add(entry.priority)
+        return found
+
+
+class PreciseTracker(DependencyTracker):
+    """Exact per-write delta test; expensive but close to the true dependencies."""
+
+    name = "PRECISE"
+
+    def dependencies(
+        self,
+        query: ReadQuery,
+        reader: int,
+        store: VersionedDatabase,
+        view: DatabaseView,
+        abortable: Set[int],
+    ) -> Set[int]:
+        self.reads_processed += 1
+        found: Set[int] = set()
+        for entry in self._candidate_writes(reader, store, abortable):
+            if entry.priority in found:
+                # One influencing write is enough to establish the dependency.
+                self.cost_units += 1
+                continue
+            self.cost_units += 2 * query.evaluation_cost()
+            if query.affected_by(entry.write, view):
+                found.add(entry.priority)
+        return found
+
+
+class HybridTracker(DependencyTracker):
+    """PRECISE for selected readers, COARSE for the rest (Section 6's hybrid)."""
+
+    name = "HYBRID"
+
+    def __init__(self, use_precise: Optional[Callable[[int], bool]] = None):
+        super().__init__()
+        self._coarse = CoarseTracker()
+        self._precise = PreciseTracker()
+        self._use_precise = use_precise if use_precise is not None else (lambda reader: False)
+        #: Readers promoted to PRECISE at runtime (e.g. after their first abort).
+        self.promoted: Set[int] = set()
+
+    def promote(self, reader: int) -> None:
+        """Switch *reader* (and its future restarts' reads) to PRECISE tracking."""
+        self.promoted.add(reader)
+
+    def dependencies(
+        self,
+        query: ReadQuery,
+        reader: int,
+        store: VersionedDatabase,
+        view: DatabaseView,
+        abortable: Set[int],
+    ) -> Set[int]:
+        self.reads_processed += 1
+        if reader in self.promoted or self._use_precise(reader):
+            result = self._precise.dependencies(query, reader, store, view, abortable)
+        else:
+            result = self._coarse.dependencies(query, reader, store, view, abortable)
+        self.cost_units = self._coarse.cost_units + self._precise.cost_units
+        return result
+
+    def reset(self) -> None:
+        super().reset()
+        self._coarse.reset()
+        self._precise.reset()
+        self.promoted.clear()
+
+
+def make_tracker(name: str) -> DependencyTracker:
+    """Build a tracker from its experiment name (case-insensitive)."""
+    normalized = name.strip().upper()
+    if normalized in ("NAIVE", "NAÏVE"):
+        return NaiveTracker()
+    if normalized == "COARSE":
+        return CoarseTracker()
+    if normalized == "PRECISE":
+        return PreciseTracker()
+    if normalized == "HYBRID":
+        return HybridTracker()
+    raise ValueError("unknown dependency tracker {!r}".format(name))

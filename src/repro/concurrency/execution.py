@@ -1,0 +1,187 @@
+"""Step-wise execution of one update over the multiversion store (Algorithm 2).
+
+The optimistic scheduler interleaves updates at chase-step granularity.  Each
+:class:`UpdateExecution` holds the state of one running update: the writes its
+next step will perform, its violation queue, its firing state (via the shared
+:class:`~repro.core.planner.RepairPlanner`), and counters.  A step
+
+1. performs the pending writes (tagged with the update's priority number),
+2. asks violation queries to discover the new violations those writes caused,
+3. chooses the next violation and generates the corrective writes for the
+   following step — consulting the frontier oracle when the repair is
+   nondeterministic (the simulated human of Section 6 answers immediately).
+
+Every read query performed along the way is reported to the scheduler through
+a recorder callback so it can be logged for conflict checking and dependency
+tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..core.frontier import writes_for_operation
+from ..core.oracle import FrontierOracle
+from ..core.planner import RepairPlanner
+from ..core.terms import NullFactory
+from ..core.tgd import Tgd
+from ..core.update import UpdateStatus, UserOperation
+from ..core.violations import Violation, violations_for_writes
+from ..core.writes import Write
+from ..query.base import ReadQuery
+from ..storage.versioned import VersionedDatabase, VersionedWrite
+
+#: Scheduler-provided callback: ``recorder(query, answer)``.
+ReadRecorderCallback = Callable[[ReadQuery, object], None]
+
+
+@dataclass
+class StepResult:
+    """What one chase step did."""
+
+    #: Writes that actually changed the store (already logged by the store).
+    applied: List[VersionedWrite] = field(default_factory=list)
+    #: ``True`` when the update terminated at the end of this step.
+    terminated: bool = False
+    #: ``True`` when a frontier operation was consumed during this step.
+    frontier_consumed: bool = False
+    #: Number of read queries performed during this step.
+    read_queries: int = 0
+    #: Work units spent evaluating read queries during this step.
+    cost_units: int = 0
+
+
+class UpdateExecution:
+    """The running state of one update under the optimistic scheduler."""
+
+    def __init__(
+        self,
+        priority: int,
+        operation: UserOperation,
+        store: VersionedDatabase,
+        mappings: Sequence[Tgd],
+        oracle: FrontierOracle,
+        null_factory: NullFactory,
+        attempt: int = 1,
+    ):
+        self.priority = priority
+        self.operation = operation
+        self.attempt = attempt
+        self.status = UpdateStatus.PENDING
+        self.steps_taken = 0
+        self.frontier_operations = 0
+        self.writes_performed = 0
+        self._store = store
+        self._mappings = list(mappings)
+        self._oracle = oracle
+        self._null_factory = null_factory
+        self._planner = RepairPlanner(self._mappings, null_factory)
+        self._pending_writes: Optional[List[Write]] = None
+        self._violation_queue: List[Violation] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_terminated(self) -> bool:
+        """``True`` once the update has finished all its work."""
+        return self.status is UpdateStatus.TERMINATED
+
+    @property
+    def is_aborted(self) -> bool:
+        """``True`` once the update has been aborted (its restart is separate)."""
+        return self.status is UpdateStatus.ABORTED
+
+    @property
+    def is_active(self) -> bool:
+        """``True`` while the update can still take steps."""
+        return self.status in (UpdateStatus.PENDING, UpdateStatus.RUNNING)
+
+    def describe(self) -> str:
+        """Short description for logs."""
+        return "update #{} (attempt {}): {}".format(
+            self.priority, self.attempt, self.operation.describe()
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_step(self, recorder: Optional[ReadRecorderCallback] = None) -> StepResult:
+        """Execute one chase step (Algorithm 2); returns what happened."""
+        result = StepResult()
+        if not self.is_active:
+            result.terminated = self.is_terminated
+            return result
+        self.status = UpdateStatus.RUNNING
+        view = self._store.view_for(self.priority)
+
+        def record(query: ReadQuery, answer: object) -> None:
+            result.read_queries += 1
+            result.cost_units += query.evaluation_cost()
+            if recorder is not None:
+                recorder(query, answer)
+
+        # ----- perform the pending writes -----
+        if self._pending_writes is None:
+            self._pending_writes = self.operation.initial_writes(view)
+        applied_logged = self._store.apply_writes(self._pending_writes, self.priority)
+        self._pending_writes = []
+        result.applied = applied_logged
+        self.writes_performed += len(applied_logged)
+        self.steps_taken += 1
+
+        # ----- discover new violations -----
+        applied_writes = [logged.write for logged in applied_logged]
+        new_violations = violations_for_writes(
+            applied_writes, self._mappings, view, record
+        )
+        self._violation_queue = self._planner.refresh_queue(
+            self._violation_queue, new_violations, view
+        )
+
+        # ----- plan the next corrective writes -----
+        writes, self._violation_queue, _ = self._planner.next_deterministic_writes(
+            self._violation_queue, view, record
+        )
+        if writes:
+            self._pending_writes = writes
+            return result
+
+        if not self._violation_queue:
+            self.status = UpdateStatus.TERMINATED
+            result.terminated = True
+            return result
+
+        # ----- nondeterministic repair: consult the (simulated) human -----
+        request = self._planner.build_request(self._violation_queue[0], view, record)
+        if request is None:
+            # The head violation vanished while building the request; the next
+            # step will re-examine the queue.
+            self._violation_queue = self._violation_queue[1:]
+            return result
+        chosen = self._oracle.decide(request, view)
+        self.frontier_operations += 1
+        result.frontier_consumed = True
+        self._pending_writes = writes_for_operation(chosen, view, record)
+        self._planner.note_frontier_operation(chosen)
+        return result
+
+    def abort(self) -> None:
+        """Mark this execution aborted (the scheduler rolls back its writes)."""
+        self.status = UpdateStatus.ABORTED
+        self._pending_writes = None
+        self._violation_queue = []
+        self._planner.reset()
+
+    def restart_as(self, new_priority: int) -> "UpdateExecution":
+        """A fresh execution of the same operation under a new priority number."""
+        return UpdateExecution(
+            priority=new_priority,
+            operation=self.operation,
+            store=self._store,
+            mappings=self._mappings,
+            oracle=self._oracle,
+            null_factory=self._null_factory,
+            attempt=self.attempt + 1,
+        )

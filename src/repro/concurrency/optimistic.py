@@ -1,0 +1,257 @@
+"""The optimistic scheduler (Algorithm 4) with pluggable cascading-abort policy.
+
+Updates are admitted with increasing priority numbers and interleaved at chase
+step granularity according to a :class:`~repro.concurrency.policies.SchedulingPolicy`.
+After every step the scheduler checks the step's writes against the stored
+read queries of higher-numbered updates; readers whose answers changed are
+aborted together with (depending on the dependency tracker) the updates that
+read from them.  Aborted updates are rolled back in the multiversion store and
+restarted under a fresh, higher priority number.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..core.oracle import FrontierOracle, RandomOracle
+from ..core.terms import NullFactory
+from ..core.tgd import Tgd
+from ..core.update import UserOperation
+from ..query.base import ReadQuery
+from ..storage.interface import DatabaseView
+from ..storage.memory import FrozenDatabase
+from ..storage.versioned import VersionedDatabase
+from .aborts import RunStatistics, consolidate_aborts
+from .conflicts import find_direct_conflicts
+from .dependencies import DependencyTracker, HybridTracker
+from .execution import StepResult, UpdateExecution
+from .policies import RoundRobinStepPolicy, SchedulingPolicy
+from .readlog import ReadLog
+
+
+class SchedulerStalled(RuntimeError):
+    """Raised when the scheduler exceeds its global step budget."""
+
+
+class OptimisticScheduler:
+    """Runs a batch of updates concurrently under optimistic concurrency control."""
+
+    def __init__(
+        self,
+        store: VersionedDatabase,
+        mappings: Sequence[Tgd],
+        tracker: DependencyTracker,
+        oracle: Optional[FrontierOracle] = None,
+        policy: Optional[SchedulingPolicy] = None,
+        null_factory: Optional[NullFactory] = None,
+        max_total_steps: int = 1_000_000,
+        promote_restarts_to_precise: bool = False,
+    ):
+        self._store = store
+        self._mappings = list(mappings)
+        self._tracker = tracker
+        self._oracle = oracle if oracle is not None else RandomOracle(seed=0)
+        self._policy = policy if policy is not None else RoundRobinStepPolicy()
+        if null_factory is None:
+            null_factory = NullFactory.avoiding_view(store.latest_view())
+        self._null_factory = null_factory
+        self._max_total_steps = max_total_steps
+        self._promote_restarts = promote_restarts_to_precise
+
+        self._executions: Dict[int, UpdateExecution] = {}
+        self._committed: Set[int] = set()
+        self._read_log = ReadLog()
+        self._next_priority = 1
+        self.statistics = RunStatistics(algorithm=tracker.name)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, operation: UserOperation) -> int:
+        """Admit one update; returns its priority number."""
+        priority = self._next_priority
+        self._next_priority += 1
+        execution = UpdateExecution(
+            priority=priority,
+            operation=operation,
+            store=self._store,
+            mappings=self._mappings,
+            oracle=self._oracle,
+            null_factory=self._null_factory,
+        )
+        self._executions[priority] = execution
+        self.statistics.updates_submitted += 1
+        self.statistics.updates_executed += 1
+        return priority
+
+    def submit_all(self, operations: Sequence[UserOperation]) -> List[int]:
+        """Admit several updates in order; returns their priority numbers."""
+        return [self.submit(operation) for operation in operations]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> RunStatistics:
+        """Run every admitted update to termination; returns the statistics."""
+        started = time.perf_counter()
+        total_steps = 0
+        self._policy.reset()
+        while True:
+            ready = [
+                execution
+                for execution in self._executions.values()
+                if execution.is_active
+            ]
+            if not ready:
+                break
+            execution = self._policy.next_update(ready)
+            while True:
+                if total_steps >= self._max_total_steps:
+                    raise SchedulerStalled(
+                        "scheduler exceeded {} total steps".format(self._max_total_steps)
+                    )
+                total_steps += 1
+                result = self._run_one_step(execution)
+                if not self._policy.keep_running(execution, result):
+                    break
+            self._advance_commit_watermark()
+        self.statistics.wall_seconds = time.perf_counter() - started
+        self.statistics.tracker_cost_units = self._tracker.cost_units
+        self.statistics.updates_terminated = sum(
+            1 for execution in self._executions.values() if execution.is_terminated
+        )
+        return self.statistics
+
+    def _run_one_step(self, execution: UpdateExecution) -> StepResult:
+        reader = execution.priority
+
+        def recorder(query: ReadQuery, answer: object) -> None:
+            dependencies = self._tracker.dependencies(
+                query,
+                reader,
+                self._store,
+                self._store.view_for(reader),
+                self._abortable(),
+            )
+            self._read_log.record(reader, query, dependencies)
+            self.statistics.read_queries += 1
+
+        result = execution.run_step(recorder)
+        self.statistics.steps += 1
+        self.statistics.writes += len(result.applied)
+        self.statistics.chase_cost_units += result.cost_units
+        if result.frontier_consumed:
+            self.statistics.frontier_operations += 1
+        if result.applied:
+            self._process_conflicts(result)
+        return result
+
+    def _process_conflicts(self, result: StepResult) -> None:
+        abortable = self._abortable()
+        report = find_direct_conflicts(
+            result.applied, self._read_log, self._store, abortable
+        )
+        self.statistics.conflict_cost_units += report.cost_units
+        if not report.direct_conflicts:
+            return
+        decision = consolidate_aborts(
+            report.direct_conflicts, self._read_log, self._tracker, abortable
+        )
+        self.statistics.cascading_abort_requests += decision.cascading_requests
+        for victim in sorted(decision.all_victims(), reverse=True):
+            self._abort(victim, direct=victim in decision.direct)
+
+    def _abort(self, victim: int, direct: bool) -> None:
+        execution = self._executions.get(victim)
+        if execution is None or victim in self._committed:
+            return
+        self._store.rollback(victim)
+        self._read_log.remove_reader(victim)
+        execution.abort()
+        del self._executions[victim]
+        self.statistics.aborts += 1
+        if direct:
+            self.statistics.direct_aborts += 1
+        else:
+            self.statistics.cascading_aborts += 1
+        restart_priority = self._next_priority
+        self._next_priority += 1
+        restart = execution.restart_as(restart_priority)
+        self._executions[restart_priority] = restart
+        self.statistics.updates_executed += 1
+        if self._promote_restarts and isinstance(self._tracker, HybridTracker):
+            self._tracker.promote(restart_priority)
+
+    def _abortable(self) -> Set[int]:
+        return {
+            priority
+            for priority in self._executions
+            if priority not in self._committed
+        }
+
+    def _advance_commit_watermark(self) -> None:
+        """Commit terminated updates from the lowest priority upwards.
+
+        An update can no longer be aborted once it has terminated and every
+        lower-numbered update has committed: no future write can come from a
+        lower-numbered update.  Committed updates' read logs are dropped.
+        """
+        for priority in sorted(self._executions):
+            if priority in self._committed:
+                continue
+            execution = self._executions[priority]
+            if not execution.is_terminated:
+                break
+            self._committed.add(priority)
+            self._read_log.remove_reader(priority)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def final_database(self) -> FrozenDatabase:
+        """The repository contents after the run (all versions visible)."""
+        return self._store.materialize()
+
+    def executions(self) -> List[UpdateExecution]:
+        """Every execution the scheduler currently tracks (terminated included)."""
+        return [self._executions[priority] for priority in sorted(self._executions)]
+
+    @property
+    def read_log(self) -> ReadLog:
+        """The scheduler's read log (useful for inspection and tests)."""
+        return self._read_log
+
+    @property
+    def store(self) -> VersionedDatabase:
+        """The multiversion store the scheduler operates on."""
+        return self._store
+
+
+def run_concurrent_updates(
+    initial: DatabaseView,
+    mappings: Sequence[Tgd],
+    operations: Sequence[UserOperation],
+    tracker: DependencyTracker,
+    oracle: Optional[FrontierOracle] = None,
+    policy: Optional[SchedulingPolicy] = None,
+    max_total_steps: int = 1_000_000,
+) -> OptimisticScheduler:
+    """Convenience wrapper: load *initial*, submit *operations*, run to completion.
+
+    Returns the scheduler so callers can inspect statistics, the read log and
+    the final database.
+    """
+    store = VersionedDatabase(initial.schema)
+    store.load_initial(initial)
+    scheduler = OptimisticScheduler(
+        store=store,
+        mappings=mappings,
+        tracker=tracker,
+        oracle=oracle,
+        policy=policy,
+        max_total_steps=max_total_steps,
+    )
+    scheduler.submit_all(operations)
+    scheduler.run()
+    return scheduler

@@ -1,0 +1,104 @@
+"""The read-query log kept by the optimistic scheduler.
+
+Algorithm 4 stores the read queries each chase step actually performed so
+that later writes by lower-numbered updates can be checked against them.  The
+log additionally stores, per read, the *read dependencies* computed by the
+configured dependency tracker (Section 5.1): the lower-numbered updates whose
+writes influenced the answer.  Cascading aborts are computed from these
+dependencies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+
+from ..query.base import ReadQuery
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One logged read: who read, what they asked, and who influenced the answer."""
+
+    #: Priority number of the reading update.
+    reader: int
+    #: The query object (re-evaluable against any view).
+    query: ReadQuery
+    #: Priorities of lower-numbered updates whose writes influenced the answer,
+    #: as determined by the dependency tracker in force.
+    dependencies: FrozenSet[int]
+    #: Monotone sequence number (log order).
+    seq: int
+
+
+class ReadLog:
+    """All logged reads of the currently abortable updates."""
+
+    def __init__(self) -> None:
+        self._by_reader: Dict[int, List[ReadRecord]] = {}
+        self._seq = itertools.count(1)
+
+    def record(
+        self, reader: int, query: ReadQuery, dependencies: Set[int]
+    ) -> ReadRecord:
+        """Log a read performed by update *reader*."""
+        entry = ReadRecord(
+            reader=reader,
+            query=query,
+            dependencies=frozenset(dependencies),
+            seq=next(self._seq),
+        )
+        self._by_reader.setdefault(reader, []).append(entry)
+        return entry
+
+    def remove_reader(self, reader: int) -> int:
+        """Drop every read logged by *reader* (on abort or commit).
+
+        Returns the number of records dropped.
+        """
+        removed = self._by_reader.pop(reader, [])
+        return len(removed)
+
+    def readers(self) -> List[int]:
+        """All priorities with at least one logged read."""
+        return list(self._by_reader)
+
+    def records_for(self, reader: int) -> List[ReadRecord]:
+        """All reads logged by *reader*, in log order."""
+        return list(self._by_reader.get(reader, []))
+
+    def records_with_reader_above(self, priority: int) -> Iterator[ReadRecord]:
+        """Reads logged by updates numbered strictly above *priority*.
+
+        These are the reads a write by update *priority* could retroactively
+        invalidate.
+        """
+        for reader, records in self._by_reader.items():
+            if reader > priority:
+                for record in records:
+                    yield record
+
+    def dependencies_of(self, reader: int) -> Set[int]:
+        """Union of the read dependencies recorded for *reader*."""
+        dependencies: Set[int] = set()
+        for record in self._by_reader.get(reader, []):
+            dependencies.update(record.dependencies)
+        return dependencies
+
+    def readers_depending_on(self, priority: int) -> Set[int]:
+        """Every reader with a recorded read dependency on update *priority*."""
+        dependents: Set[int] = set()
+        for reader, records in self._by_reader.items():
+            for record in records:
+                if priority in record.dependencies:
+                    dependents.add(reader)
+                    break
+        return dependents
+
+    def total_records(self) -> int:
+        """Total number of logged reads."""
+        return sum(len(records) for records in self._by_reader.values())
+
+    def __len__(self) -> int:
+        return self.total_records()

@@ -1,0 +1,221 @@
+"""Frontier oracles: the stand-ins for the humans in the cooperative chase.
+
+Youtopia is designed around human intervention: when a chase reaches a
+frontier it blocks until a user performs a frontier operation.  The paper's
+experiments simulate the user by "choosing an option uniformly at random among
+all available alternatives" (Section 6); this module provides that simulation
+plus deterministic variants useful for examples and tests:
+
+* :class:`RandomOracle` — the paper's simulated user (seeded for
+  reproducibility);
+* :class:`AlwaysExpandOracle` / :class:`AlwaysUnifyOracle` — fixed policies;
+* :class:`ScriptedOracle` — replays a prepared list of decisions;
+* :class:`CallbackOracle` — delegates to an arbitrary function;
+* :class:`InteractiveOracle` — prompts on stdin (used by an example, never by
+  tests).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+from ..storage.interface import DatabaseView
+from .frontier import (
+    DeleteSubsetOperation,
+    ExpandOperation,
+    FrontierOperation,
+    FrontierRequest,
+    NegativeFrontierRequest,
+    PositiveFrontierRequest,
+    UnifyOperation,
+)
+
+
+class OracleError(RuntimeError):
+    """Raised when an oracle cannot produce a decision."""
+
+
+class FrontierOracle(ABC):
+    """Something that can answer frontier requests (a user, or a simulation)."""
+
+    @abstractmethod
+    def decide(
+        self, request: FrontierRequest, view: DatabaseView
+    ) -> FrontierOperation:
+        """Return the frontier operation to perform for *request*."""
+
+    def reset(self) -> None:
+        """Reset any internal state (between experiment runs)."""
+
+
+class RandomOracle(FrontierOracle):
+    """Uniform random choice among all available alternatives (Section 6).
+
+    Because a unification (rather than an expansion) is chosen with non-zero
+    probability on every positive frontier, all chases terminate with
+    probability one even when the mappings have cycles — the property the
+    paper relies on for its experiments.
+    """
+
+    def __init__(self, seed: Optional[int] = None, rng: Optional[random.Random] = None):
+        if rng is not None:
+            self._rng = rng
+        else:
+            self._rng = random.Random(seed)
+        self._seed = seed
+
+    def decide(
+        self, request: FrontierRequest, view: DatabaseView
+    ) -> FrontierOperation:
+        alternatives = request.alternatives()
+        if not alternatives:
+            raise OracleError("frontier request offers no alternatives: {!r}".format(request))
+        return self._rng.choice(alternatives)
+
+    def reset(self) -> None:
+        if self._seed is not None:
+            self._rng = random.Random(self._seed)
+
+
+class AlwaysExpandOracle(FrontierOracle):
+    """Always expand positive frontier tuples; delete the first candidate otherwise.
+
+    Useful to exhibit the controlled non-termination of cyclic mappings (the
+    genealogy example keeps producing new ancestors for as long as the oracle
+    keeps expanding).
+    """
+
+    def decide(
+        self, request: FrontierRequest, view: DatabaseView
+    ) -> FrontierOperation:
+        if isinstance(request, PositiveFrontierRequest):
+            return ExpandOperation(request.frontier_tuples[0])
+        return DeleteSubsetOperation((request.candidates[0],))
+
+
+class AlwaysUnifyOracle(FrontierOracle):
+    """Prefer unification with the first candidate; expand only when forced.
+
+    This is the most "conservative" user: it never grows the database at a
+    frontier, so every forward chase terminates quickly.
+    """
+
+    def decide(
+        self, request: FrontierRequest, view: DatabaseView
+    ) -> FrontierOperation:
+        if isinstance(request, NegativeFrontierRequest):
+            return DeleteSubsetOperation((request.candidates[0],))
+        for frontier_tuple in request.frontier_tuples:
+            if frontier_tuple.candidates:
+                return UnifyOperation(frontier_tuple, frontier_tuple.candidates[0])
+        return ExpandOperation(request.frontier_tuples[0])
+
+
+class ScriptedOracle(FrontierOracle):
+    """Replay a fixed sequence of frontier operations.
+
+    Each scripted entry may be a ready-made :class:`FrontierOperation` or a
+    callable ``request, view -> FrontierOperation``; the latter is convenient
+    when the exact frontier tuple objects are not known up front.
+    """
+
+    def __init__(
+        self,
+        script: Sequence[
+            Union[FrontierOperation, Callable[[FrontierRequest, DatabaseView], FrontierOperation]]
+        ],
+    ):
+        self._script = list(script)
+        self._position = 0
+
+    def decide(
+        self, request: FrontierRequest, view: DatabaseView
+    ) -> FrontierOperation:
+        if self._position >= len(self._script):
+            raise OracleError(
+                "scripted oracle exhausted after {} decisions".format(len(self._script))
+            )
+        entry = self._script[self._position]
+        self._position += 1
+        if callable(entry) and not isinstance(
+            entry, (ExpandOperation, UnifyOperation, DeleteSubsetOperation)
+        ):
+            return entry(request, view)
+        return entry
+
+    @property
+    def decisions_used(self) -> int:
+        """How many scripted decisions have been consumed."""
+        return self._position
+
+    def reset(self) -> None:
+        self._position = 0
+
+
+class CallbackOracle(FrontierOracle):
+    """Delegate every decision to a user-supplied function."""
+
+    def __init__(
+        self, callback: Callable[[FrontierRequest, DatabaseView], FrontierOperation]
+    ):
+        self._callback = callback
+
+    def decide(
+        self, request: FrontierRequest, view: DatabaseView
+    ) -> FrontierOperation:
+        return self._callback(request, view)
+
+
+class InteractiveOracle(FrontierOracle):
+    """Prompt a human on standard input (for the interactive example only)."""
+
+    def __init__(self, input_function: Callable[[str], str] = input, echo: Callable[[str], None] = print):
+        self._input = input_function
+        self._echo = echo
+
+    def decide(
+        self, request: FrontierRequest, view: DatabaseView
+    ) -> FrontierOperation:
+        alternatives = request.alternatives()
+        self._echo("Frontier reached for {}:".format(request.violation.describe()))
+        for index, alternative in enumerate(alternatives):
+            self._echo("  [{}] {}".format(index, alternative.describe()))
+        while True:
+            answer = self._input("choose an option number: ").strip()
+            if answer.isdigit() and int(answer) < len(alternatives):
+                return alternatives[int(answer)]
+            self._echo("please enter a number between 0 and {}".format(len(alternatives) - 1))
+
+
+class CountingOracle(FrontierOracle):
+    """Wrap another oracle and count how often it is consulted.
+
+    The experiment harness uses this to report frontier-operation counts,
+    a proxy for "how much human attention a workload would consume".
+    """
+
+    def __init__(self, inner: FrontierOracle):
+        self._inner = inner
+        self.positive_requests = 0
+        self.negative_requests = 0
+
+    def decide(
+        self, request: FrontierRequest, view: DatabaseView
+    ) -> FrontierOperation:
+        if isinstance(request, PositiveFrontierRequest):
+            self.positive_requests += 1
+        else:
+            self.negative_requests += 1
+        return self._inner.decide(request, view)
+
+    @property
+    def total_requests(self) -> int:
+        """Total number of frontier requests answered."""
+        return self.positive_requests + self.negative_requests
+
+    def reset(self) -> None:
+        self.positive_requests = 0
+        self.negative_requests = 0
+        self._inner.reset()

@@ -1,0 +1,130 @@
+"""Write operations: the units of change flowing through chases and schedulers.
+
+A chase step begins by performing a set of writes (Algorithm 2).  Each write
+is one of:
+
+* a tuple **insertion**,
+* a tuple **deletion**, or
+* a tuple **modification** that is part of a global replacement of a labeled
+  null by another value (a null-replacement or the effect of a *unify*
+  frontier operation).
+
+The concurrency-control layer checks writes against logged read queries
+(Algorithm 4) and logs them for the COARSE / PRECISE read-dependency trackers,
+so writes carry enough information to answer "could this write change the
+result of that query?" without consulting the database for the easy cases.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .terms import DataTerm, LabeledNull
+from .tuples import Tuple
+
+
+class WriteKind(enum.Enum):
+    """The three kinds of tuple-level writes."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    MODIFY = "modify"
+
+
+@dataclass(frozen=True)
+class Write:
+    """A single tuple-level write.
+
+    ``row`` is the tuple after the write for inserts and modifications, and
+    the removed tuple for deletions.  ``old_row`` is only set for
+    modifications.  ``null`` / ``replacement`` record the global substitution
+    a modification belongs to.
+    """
+
+    kind: WriteKind
+    row: Tuple
+    old_row: Optional[Tuple] = None
+    null: Optional[LabeledNull] = None
+    replacement: Optional[DataTerm] = None
+
+    @property
+    def relation(self) -> str:
+        """Relation the write touches."""
+        return self.row.relation
+
+    def rows_touched(self) -> List[Tuple]:
+        """All tuple values involved (old and new content for modifications)."""
+        if self.kind is WriteKind.MODIFY and self.old_row is not None:
+            return [self.old_row, self.row]
+        return [self.row]
+
+    def added_row(self) -> Optional[Tuple]:
+        """The tuple value this write makes visible, if any."""
+        if self.kind in (WriteKind.INSERT, WriteKind.MODIFY):
+            return self.row
+        return None
+
+    def removed_row(self) -> Optional[Tuple]:
+        """The tuple value this write removes from visibility, if any."""
+        if self.kind is WriteKind.DELETE:
+            return self.row
+        if self.kind is WriteKind.MODIFY:
+            return self.old_row
+        return None
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        if self.kind is WriteKind.INSERT:
+            return "insert {!r}".format(self.row)
+        if self.kind is WriteKind.DELETE:
+            return "delete {!r}".format(self.row)
+        return "modify {!r} -> {!r}".format(self.old_row, self.row)
+
+    def __repr__(self) -> str:
+        return "Write({})".format(self.describe())
+
+
+def insert(row: Tuple) -> Write:
+    """Construct an insertion write."""
+    return Write(WriteKind.INSERT, row)
+
+
+def delete(row: Tuple) -> Write:
+    """Construct a deletion write."""
+    return Write(WriteKind.DELETE, row)
+
+
+def modify(
+    old_row: Tuple, new_row: Tuple, null: LabeledNull, replacement: DataTerm
+) -> Write:
+    """Construct a modification write that is part of a null replacement."""
+    return Write(
+        WriteKind.MODIFY, new_row, old_row=old_row, null=null, replacement=replacement
+    )
+
+
+@dataclass(frozen=True)
+class NullReplacement:
+    """A user-level request to replace every occurrence of a null by a value.
+
+    The storage layer expands this into one :class:`Write` of kind ``MODIFY``
+    per affected tuple; all of them share the ``null`` / ``replacement`` pair,
+    which is what guarantees that only LHS-violations can result (Section 2).
+    """
+
+    null: LabeledNull
+    replacement: DataTerm
+
+    def expand(self, affected_rows: Sequence[Tuple]) -> List[Write]:
+        """Materialize the per-tuple modification writes for *affected_rows*."""
+        writes: List[Write] = []
+        for row in affected_rows:
+            new_row = row.substitute({self.null: self.replacement})
+            if new_row != row:
+                writes.append(modify(row, new_row, self.null, self.replacement))
+        return writes
+
+    def __repr__(self) -> str:
+        return "NullReplacement({} := {})".format(self.null, self.replacement)

@@ -1,0 +1,21 @@
+"""Example repositories used in the paper: the travel repository and genealogy."""
+
+from .genealogy import genealogy_mappings, genealogy_repository, genealogy_schema
+from .travel import (
+    travel_database,
+    travel_mappings,
+    travel_repository,
+    travel_schema,
+    travel_tuples,
+)
+
+__all__ = [
+    "genealogy_mappings",
+    "genealogy_repository",
+    "genealogy_schema",
+    "travel_database",
+    "travel_mappings",
+    "travel_repository",
+    "travel_schema",
+    "travel_tuples",
+]

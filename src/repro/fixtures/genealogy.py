@@ -1,0 +1,50 @@
+"""The genealogical example of Section 2.2.
+
+A single cyclic mapping states that every person has a father who is also a
+person::
+
+    Person(x) -> exists y . Father(x, y), Person(y)
+
+Under the standard tgd chase this mapping is rejected (it is not weakly
+acyclic and the chase does not terminate).  In Youtopia it is allowed: the
+chase inserts the first ancestor, then stops at a frontier because the new
+``Person`` tuple has a more specific tuple already present, and a user decides
+whether to keep adding ancestors (expand) or close the loop (unify).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple as PyTuple
+
+from ..core.schema import DatabaseSchema, RelationSchema
+from ..core.tgd import MappingSet, parse_tgd
+from ..storage.memory import MemoryDatabase
+
+
+def genealogy_schema() -> DatabaseSchema:
+    """Schema with ``Person(name)`` and ``Father(child, father)``."""
+    return DatabaseSchema.from_relations(
+        [
+            RelationSchema("Person", ["name"]),
+            RelationSchema("Father", ["child", "father"]),
+        ]
+    )
+
+
+def genealogy_mappings() -> MappingSet:
+    """The single cyclic mapping of the example."""
+    mappings = MappingSet(
+        [
+            parse_tgd(
+                "Person(x) -> exists y . Father(x, y), Person(y)",
+                name="every-person-has-a-father",
+            )
+        ]
+    )
+    mappings.validate(genealogy_schema())
+    return mappings
+
+
+def genealogy_repository() -> PyTuple[MemoryDatabase, MappingSet]:
+    """An empty genealogy database plus its mapping."""
+    return MemoryDatabase(genealogy_schema()), genealogy_mappings()

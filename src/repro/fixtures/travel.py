@@ -1,0 +1,95 @@
+"""The travel repository of Figure 2 — the paper's running example.
+
+Relations:
+
+* ``C(city)`` — cities
+* ``S(code, location, city_served)`` — suggested airports
+* ``A(location, name)`` — attractions
+* ``T(attraction, company, tour_start)`` — tours
+* ``R(company, attraction, review)`` — tour reviews
+* ``V(city, convention)`` — conventions
+* ``E(convention, attraction)`` — excursion ideas
+
+Mappings:
+
+* σ1: every city has a suggested airport,
+* σ2: every airport is located in a city and serves a city (forming a cycle
+  with σ1),
+* σ3: every offered tour of an attraction has a review,
+* σ4: convention attendees get excursion ideas from the tours starting at the
+  convention venue.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple as PyTuple
+
+from ..core.schema import DatabaseSchema, RelationSchema
+from ..core.terms import LabeledNull
+from ..core.tgd import MappingSet, parse_tgd
+from ..core.tuples import Tuple, make_tuple
+from ..storage.memory import MemoryDatabase
+
+#: Labeled nulls used in Figure 2.
+X1 = LabeledNull("x1")
+X2 = LabeledNull("x2")
+
+
+def travel_schema() -> DatabaseSchema:
+    """The schema of the Figure 2 repository."""
+    return DatabaseSchema.from_relations(
+        [
+            RelationSchema("C", ["city"]),
+            RelationSchema("S", ["code", "location", "city_served"]),
+            RelationSchema("A", ["location", "name"]),
+            RelationSchema("T", ["attraction", "company", "tour_start"]),
+            RelationSchema("R", ["company", "attraction", "review"]),
+            RelationSchema("V", ["city", "convention"]),
+            RelationSchema("E", ["convention", "attraction"]),
+        ]
+    )
+
+
+def travel_mappings() -> MappingSet:
+    """The four mappings σ1–σ4 of Figure 2."""
+    mappings = MappingSet(
+        [
+            parse_tgd("C(c) -> exists a, l . S(a, l, c)", name="sigma1"),
+            parse_tgd("S(a, l, c) -> C(l), C(c)", name="sigma2"),
+            parse_tgd("A(l, n), T(n, c, cs) -> exists r . R(c, n, r)", name="sigma3"),
+            parse_tgd("V(cs, x), T(n, c, cs) -> E(x, n)", name="sigma4"),
+        ]
+    )
+    mappings.validate(travel_schema())
+    return mappings
+
+
+def travel_tuples() -> PyTuple[Tuple, ...]:
+    """The initial tuples shown in Figure 2."""
+    return (
+        make_tuple("C", "Ithaca"),
+        make_tuple("C", "Syracuse"),
+        make_tuple("S", "SYR", "Syracuse", "Syracuse"),
+        make_tuple("S", "SYR", "Syracuse", "Ithaca"),
+        make_tuple("A", "Geneva", "Geneva Winery"),
+        make_tuple("A", "Niagara Falls", "Niagara Falls"),
+        make_tuple("T", "Geneva Winery", "XYZ", "Syracuse"),
+        make_tuple("T", "Niagara Falls", X1, "Toronto"),
+        make_tuple("R", "XYZ", "Geneva Winery", "Great!"),
+        make_tuple("R", X1, "Niagara Falls", X2),
+        make_tuple("V", "Syracuse", "Science Conf"),
+        make_tuple("E", "Science Conf", "Geneva Winery"),
+    )
+
+
+def travel_database() -> MemoryDatabase:
+    """A fresh in-memory copy of the Figure 2 repository."""
+    database = MemoryDatabase(travel_schema())
+    for row in travel_tuples():
+        database.insert(row)
+    return database
+
+
+def travel_repository() -> PyTuple[MemoryDatabase, MappingSet]:
+    """Database and mappings together, ready for a :class:`ChaseEngine`."""
+    return travel_database(), travel_mappings()

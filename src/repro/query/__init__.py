@@ -1,0 +1,24 @@
+"""Query package: homomorphisms, conjunctive, violation and correction queries."""
+
+from .base import ReadQuery
+from .conjunctive import ConjunctiveQuery
+from .correction_query import (
+    MoreSpecificQuery,
+    NullOccurrenceQuery,
+    correction_queries_for_frontier_tuple,
+)
+from .homomorphism import exists_match, find_matches, formula_satisfied
+from .violation_query import ViolationQuery, ViolationRow
+
+__all__ = [
+    "ConjunctiveQuery",
+    "MoreSpecificQuery",
+    "NullOccurrenceQuery",
+    "ReadQuery",
+    "ViolationQuery",
+    "ViolationRow",
+    "correction_queries_for_frontier_tuple",
+    "exists_match",
+    "find_matches",
+    "formula_satisfied",
+]

@@ -1,0 +1,149 @@
+"""Homomorphism search: matching conjunctions of atoms against a database view.
+
+Satisfaction of the left- or right-hand side of a mapping is defined by the
+existence of a homomorphism from the formula into the database (Section 2 of
+the paper, following Fagin et al.).  This module implements the search as a
+backtracking join: atoms are matched one at a time, most-bound-first, with an
+index lookup whenever some position of the atom is already bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple as PyTuple
+
+from ..core.atoms import Atom
+from ..core.terms import DataTerm, Variable, is_variable
+from ..core.tuples import Tuple
+from ..storage.interface import DatabaseView
+
+#: An assignment of mapping variables to data terms (constants or nulls).
+Assignment = Dict[Variable, DataTerm]
+
+#: A match: the completed assignment plus the tuple matched by each atom,
+#: in the order the atoms were given.
+Match = PyTuple[Assignment, PyTuple[Tuple, ...]]
+
+
+def _candidate_tuples(
+    atom: Atom, assignment: Assignment, view: DatabaseView
+) -> Iterator[Tuple]:
+    """Tuples of the view that could match *atom* under *assignment*.
+
+    When some atom position is already bound (to a constant in the atom, or to
+    a value via the assignment), the position index narrows the scan;
+    otherwise the whole relation is scanned.
+    """
+    best_position: Optional[int] = None
+    best_value: Optional[DataTerm] = None
+    for position, term in enumerate(atom.terms):
+        if is_variable(term):
+            bound = assignment.get(term)
+            if bound is not None:
+                best_position, best_value = position, bound
+                break
+        else:
+            best_position, best_value = position, term
+            break
+    if best_position is None:
+        return view.tuples(atom.relation)
+    return view.tuples_with_value(atom.relation, best_position, best_value)
+
+
+def _order_atoms(atoms: Sequence[Atom], assignment: Assignment) -> List[Atom]:
+    """Order atoms so that the most constrained ones are matched first.
+
+    A simple, effective heuristic: atoms with more bound positions (constants
+    or already-assigned variables) come first; ties broken by fewer distinct
+    unbound variables.
+    """
+    bound_variables = set(assignment)
+
+    def score(atom: Atom) -> PyTuple[int, int]:
+        bound = 0
+        unbound = set()
+        for term in atom.terms:
+            if is_variable(term):
+                if term in bound_variables:
+                    bound += 1
+                else:
+                    unbound.add(term)
+            else:
+                bound += 1
+        return (-bound, len(unbound))
+
+    return sorted(atoms, key=score)
+
+
+def find_matches(
+    atoms: Sequence[Atom],
+    view: DatabaseView,
+    assignment: Optional[Assignment] = None,
+    limit: Optional[int] = None,
+) -> List[Match]:
+    """Find homomorphisms from the conjunction *atoms* into *view*.
+
+    ``assignment`` seeds the search with pre-bound variables (for example the
+    bindings obtained by matching a newly written tuple against one atom).
+    ``limit`` stops the search after that many matches, which makes existence
+    checks cheap.
+
+    Returns a list of (assignment, witness-tuples) pairs.  The witness tuples
+    are reported in the order of the *original* atom sequence, which is what
+    the violation machinery expects when it builds witnesses.
+    """
+    seed: Assignment = dict(assignment) if assignment else {}
+    ordered = _order_atoms(atoms, seed)
+    original_index = {id(atom): position for position, atom in enumerate(atoms)}
+    results: List[Match] = []
+
+    def recurse(depth: int, current: Assignment, chosen: List[Tuple]) -> bool:
+        """Return ``True`` when the limit was reached and search should stop."""
+        if depth == len(ordered):
+            witness: List[Optional[Tuple]] = [None] * len(atoms)
+            for atom, row in zip(ordered, chosen):
+                witness[original_index[id(atom)]] = row
+            results.append((dict(current), tuple(witness)))  # type: ignore[arg-type]
+            return limit is not None and len(results) >= limit
+        atom = ordered[depth]
+        for row in _candidate_tuples(atom, current, view):
+            extended = atom.match(row, current)
+            if extended is None:
+                continue
+            chosen.append(row)
+            if recurse(depth + 1, extended, chosen):
+                return True
+            chosen.pop()
+        return False
+
+    recurse(0, seed, [])
+    return results
+
+
+def exists_match(
+    atoms: Sequence[Atom],
+    view: DatabaseView,
+    assignment: Optional[Assignment] = None,
+) -> bool:
+    """``True`` when at least one homomorphism extending *assignment* exists."""
+    return bool(find_matches(atoms, view, assignment, limit=1))
+
+
+def formula_satisfied(
+    lhs: Sequence[Atom],
+    rhs: Sequence[Atom],
+    view: DatabaseView,
+) -> bool:
+    """Check ``∀ x (LHS(x) → ∃ z RHS(x, z))`` over the view.
+
+    This is tgd satisfaction: every homomorphism of the LHS must extend to a
+    homomorphism of the RHS.
+    """
+    for assignment, _ in find_matches(lhs, view):
+        exported = {
+            variable: value
+            for variable, value in assignment.items()
+            if any(variable in atom.variable_set() for atom in rhs)
+        }
+        if not exists_match(rhs, view, exported):
+            return False
+    return True

@@ -1,0 +1,161 @@
+"""Violation queries: ``SELECT * FROM (LHS query) WHERE NOT EXISTS (RHS query)``.
+
+A chase step that has just performed a write asks one violation query per
+potentially affected mapping (Section 4.2, Example 4.1).  The query is seeded
+with the bindings obtained by matching the written tuple against one atom of
+the mapping, so its answer contains exactly the witnesses of the new
+violations this write is involved in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple as PyTuple
+
+from ..core.atoms import Atom
+from ..core.terms import DataTerm, Variable
+from ..core.tgd import Tgd
+from ..core.tuples import Tuple
+from ..storage.interface import DatabaseView
+from .base import ReadQuery
+from .homomorphism import Assignment, exists_match, find_matches
+
+
+@dataclass(frozen=True)
+class ViolationRow:
+    """One answer row of a violation query.
+
+    ``bindings`` is the (hashable) assignment of the mapping's LHS variables
+    and ``witness`` the LHS tuples matched — the violation's witness in the
+    sense of Definition 2.2.
+    """
+
+    bindings: FrozenSet[PyTuple[Variable, DataTerm]]
+    witness: PyTuple[Tuple, ...]
+
+    def assignment(self) -> Dict[Variable, DataTerm]:
+        """The bindings as a dictionary."""
+        return dict(self.bindings)
+
+
+class ViolationQuery(ReadQuery):
+    """Find LHS matches of a mapping that have no corresponding RHS match."""
+
+    kind = "violation"
+
+    def __init__(self, tgd: Tgd, seed: Optional[Assignment] = None):
+        self._tgd = tgd
+        self._seed: Assignment = dict(seed) if seed else {}
+
+    @property
+    def tgd(self) -> Tgd:
+        """The mapping whose violations the query detects."""
+        return self._tgd
+
+    @property
+    def seed(self) -> Assignment:
+        """Bindings contributed by the written tuple (may be empty)."""
+        return dict(self._seed)
+
+    def relations(self) -> FrozenSet[str]:
+        # Both sides are read: the LHS to find candidate witnesses, the RHS in
+        # the NOT EXISTS subquery.
+        return self._tgd.lhs_relations() | self._tgd.rhs_relations()
+
+    def evaluate(self, view: DatabaseView) -> FrozenSet[ViolationRow]:
+        rows: List[ViolationRow] = []
+        rhs_variables = self._tgd.rhs_variables()
+        for assignment, witness in find_matches(self._tgd.lhs, view, self._seed):
+            exported = {
+                variable: value
+                for variable, value in assignment.items()
+                if variable in rhs_variables
+            }
+            if exists_match(self._tgd.rhs, view, exported):
+                continue
+            rows.append(
+                ViolationRow(
+                    bindings=frozenset(assignment.items()),
+                    witness=witness,
+                )
+            )
+        return frozenset(rows)
+
+    def evaluation_cost(self) -> int:
+        # One join over the LHS plus, per candidate, an existence check on the
+        # RHS: approximate by the number of atoms on both sides.
+        return len(self._tgd.lhs) + len(self._tgd.rhs)
+
+    def __repr__(self) -> str:
+        return "ViolationQuery({}, seed={})".format(self._tgd.name, self._seed)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ViolationQuery):
+            return NotImplemented
+        return self._tgd == other._tgd and self._seed == other._seed
+
+    def __hash__(self) -> int:
+        return hash((self._tgd, frozenset(self._seed.items())))
+
+
+def seeds_for_lhs_write(tgd: Tgd, row: Tuple) -> List[Assignment]:
+    """Bindings obtained by matching *row* against each LHS atom of *tgd*.
+
+    Used after an insertion (or a modification making a tuple newly visible):
+    a new LHS-violation of *tgd* must use the new tuple in its witness, so the
+    violation query can be seeded with the bindings the tuple induces.  One
+    seed per LHS atom the row matches (self-joins give several).
+    """
+    seeds: List[Assignment] = []
+    for atom in tgd.lhs:
+        assignment = atom.match(row)
+        if assignment is not None:
+            seeds.append(assignment)
+    return seeds
+
+
+def seeds_for_rhs_write(tgd: Tgd, row: Tuple) -> List[Assignment]:
+    """Bindings obtained by matching *row* against each RHS atom of *tgd*.
+
+    Used after a deletion: a new RHS-violation of *tgd* exists only for LHS
+    matches whose RHS match used the deleted tuple, so the violation query is
+    seeded with the *frontier-variable* bindings the deleted tuple induces
+    through the RHS atom (existential positions impose no binding on the LHS).
+    """
+    frontier = tgd.frontier_variables()
+    seeds: List[Assignment] = []
+    for atom in tgd.rhs:
+        assignment = atom.match(row)
+        if assignment is None:
+            continue
+        seeds.append(
+            {
+                variable: value
+                for variable, value in assignment.items()
+                if variable in frontier
+            }
+        )
+    return seeds
+
+
+def violation_queries_for_write_row(
+    tgd: Tgd, row: Tuple, removed: bool
+) -> List[ViolationQuery]:
+    """The violation queries to ask for *tgd* after writing *row*.
+
+    ``removed`` selects the deletion case (RHS seeding) versus the
+    insertion/modification case (LHS seeding).  Duplicate seeds are collapsed.
+    """
+    if removed:
+        seeds = seeds_for_rhs_write(tgd, row)
+    else:
+        seeds = seeds_for_lhs_write(tgd, row)
+    queries: List[ViolationQuery] = []
+    seen = set()
+    for seed in seeds:
+        key = frozenset(seed.items())
+        if key in seen:
+            continue
+        seen.add(key)
+        queries.append(ViolationQuery(tgd, seed))
+    return queries

@@ -1,0 +1,35 @@
+"""Storage package: in-memory, multiversion and SQLite backends."""
+
+from .index import PositionIndex
+from .interface import DatabaseView, MutableDatabase, StorageError, dump_sorted
+from .memory import FrozenDatabase, MemoryDatabase
+from .overlay import OverlayView, view_with_write, view_without_write
+from .sqlite_backend import SQLiteDatabase
+from .versioned import (
+    LATEST,
+    Version,
+    VersionedDatabase,
+    VersionedTuple,
+    VersionedView,
+    VersionedWrite,
+)
+
+__all__ = [
+    "DatabaseView",
+    "FrozenDatabase",
+    "LATEST",
+    "MemoryDatabase",
+    "MutableDatabase",
+    "OverlayView",
+    "PositionIndex",
+    "SQLiteDatabase",
+    "StorageError",
+    "Version",
+    "VersionedDatabase",
+    "VersionedTuple",
+    "VersionedView",
+    "VersionedWrite",
+    "dump_sorted",
+    "view_with_write",
+    "view_without_write",
+]

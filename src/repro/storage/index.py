@@ -1,0 +1,65 @@
+"""Secondary indexes used by the in-memory stores to accelerate joins.
+
+The violation queries of Section 4.2 are conjunctive queries whose join
+predicates are dictated by the mappings; the paper notes (Section 5.1.2) that
+"it is possible to improve performance by appropriate indexing".  The
+:class:`PositionIndex` below is the simplest useful structure: a hash index
+from ``(relation, position, term)`` to the set of tuples holding that term at
+that position.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Set, Tuple as PyTuple
+
+from ..core.terms import DataTerm, LabeledNull
+from ..core.tuples import Tuple
+
+
+class PositionIndex:
+    """Hash index over every (relation, position, value) combination."""
+
+    def __init__(self) -> None:
+        self._by_value: Dict[PyTuple[str, int, DataTerm], Set[Tuple]] = defaultdict(set)
+        self._by_null: Dict[LabeledNull, Set[Tuple]] = defaultdict(set)
+
+    def add(self, row: Tuple) -> None:
+        """Index *row*."""
+        for position, value in enumerate(row.values):
+            self._by_value[(row.relation, position, value)].add(row)
+        for null in row.null_set():
+            self._by_null[null].add(row)
+
+    def remove(self, row: Tuple) -> None:
+        """Remove *row* from the index (no-op if absent)."""
+        for position, value in enumerate(row.values):
+            bucket = self._by_value.get((row.relation, position, value))
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del self._by_value[(row.relation, position, value)]
+        for null in row.null_set():
+            bucket = self._by_null.get(null)
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del self._by_null[null]
+
+    def lookup(self, relation: str, position: int, value: DataTerm) -> Set[Tuple]:
+        """Tuples of *relation* holding *value* at *position*."""
+        return self._by_value.get((relation, position, value), set())
+
+    def with_null(self, null: LabeledNull) -> Set[Tuple]:
+        """All indexed tuples containing *null*."""
+        return self._by_null.get(null, set())
+
+    def rebuild(self, rows: Iterable[Tuple]) -> None:
+        """Clear the index and re-index *rows* from scratch."""
+        self._by_value.clear()
+        self._by_null.clear()
+        for row in rows:
+            self.add(row)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._by_value.values())

@@ -1,0 +1,142 @@
+"""Storage interfaces shared by the in-memory, multiversion and SQLite backends.
+
+The chase and the query layer only ever need two things from storage:
+
+* a read-only :class:`DatabaseView` — "what tuples are visible right now?" —
+  used to evaluate conjunctive, violation and correction queries, and
+* a mutable :class:`MutableDatabase` — insert / delete / null-replacement —
+  used by chase steps to apply their writes.
+
+The multiversion store used by the concurrency-control layer produces one
+:class:`DatabaseView` per update priority (Section 4.1 of the paper: an update
+numbered ``j`` sees the largest-numbered version created by updates with
+number at most ``j``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..core.schema import DatabaseSchema
+from ..core.terms import Constant, DataTerm, LabeledNull
+from ..core.tuples import Tuple
+
+
+class StorageError(RuntimeError):
+    """Raised when a storage operation cannot be carried out."""
+
+
+class DatabaseView(ABC):
+    """A read-only snapshot of a repository."""
+
+    @property
+    @abstractmethod
+    def schema(self) -> DatabaseSchema:
+        """The database schema."""
+
+    @abstractmethod
+    def relations(self) -> List[str]:
+        """Names of all relations in the view."""
+
+    @abstractmethod
+    def tuples(self, relation: str) -> Iterator[Tuple]:
+        """Iterate over the visible tuples of *relation*."""
+
+    @abstractmethod
+    def contains(self, row: Tuple) -> bool:
+        """``True`` when *row* is visible."""
+
+    # ------------------------------------------------------------------
+    # Default implementations that concrete views may override with
+    # index-accelerated versions.
+    # ------------------------------------------------------------------
+    def tuples_with_value(
+        self, relation: str, position: int, value: DataTerm
+    ) -> Iterator[Tuple]:
+        """Visible tuples of *relation* whose field *position* equals *value*."""
+        for row in self.tuples(relation):
+            if row[position] == value:
+                yield row
+
+    def tuples_containing_null(self, null: LabeledNull) -> Iterator[Tuple]:
+        """All visible tuples (any relation) containing the labeled null."""
+        for relation in self.relations():
+            for row in self.tuples(relation):
+                if row.contains_null(null):
+                    yield row
+
+    def more_specific_tuples(self, row: Tuple) -> List[Tuple]:
+        """Visible tuples of ``row.relation`` that are more specific than *row*.
+
+        This is the correction query the forward chase issues to decide whether
+        a generated tuple is a frontier tuple (Section 2.2) — and, if so, which
+        unification candidates to offer the user.
+        """
+        return [
+            candidate
+            for candidate in self.tuples(row.relation)
+            if candidate.is_more_specific_than(row)
+        ]
+
+    def count(self, relation: str) -> int:
+        """Number of visible tuples in *relation*."""
+        return sum(1 for _ in self.tuples(relation))
+
+    def total_count(self) -> int:
+        """Total number of visible tuples across all relations."""
+        return sum(self.count(relation) for relation in self.relations())
+
+    def to_dict(self) -> Dict[str, frozenset]:
+        """Materialize the view as ``{relation: frozenset(tuples)}``.
+
+        Used by tests and by the final-state serializability checker, which
+        compares whole database states.
+        """
+        return {
+            relation: frozenset(self.tuples(relation))
+            for relation in self.relations()
+        }
+
+
+class MutableDatabase(DatabaseView):
+    """A :class:`DatabaseView` that also supports the three Youtopia writes."""
+
+    @abstractmethod
+    def insert(self, row: Tuple) -> bool:
+        """Insert *row*; return ``True`` when the database changed."""
+
+    @abstractmethod
+    def delete(self, row: Tuple) -> bool:
+        """Delete *row*; return ``True`` when the database changed."""
+
+    @abstractmethod
+    def replace_null(self, null: LabeledNull, value: DataTerm) -> List[Tuple]:
+        """Replace every occurrence of *null* by *value*.
+
+        Returns the list of tuples (post-replacement) that were modified.
+        Replacement is global and consistent, as required for the guarantee
+        that null-replacements only cause LHS-violations (Section 2).
+        """
+
+    def apply_substitution(
+        self, substitution: Dict[LabeledNull, DataTerm]
+    ) -> List[Tuple]:
+        """Apply several null replacements; returns all modified tuples."""
+        modified: List[Tuple] = []
+        for null, value in substitution.items():
+            modified.extend(self.replace_null(null, value))
+        return modified
+
+    @abstractmethod
+    def snapshot(self) -> "DatabaseView":
+        """Return an immutable copy of the current state."""
+
+
+def dump_sorted(view: DatabaseView) -> List[str]:
+    """Render a view as a sorted list of tuple strings (handy in tests/examples)."""
+    lines: List[str] = []
+    for relation in sorted(view.relations()):
+        for row in view.tuples(relation):
+            lines.append(repr(row))
+    return sorted(lines)

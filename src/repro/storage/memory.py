@@ -1,0 +1,157 @@
+"""Single-version in-memory store.
+
+This is the storage backend used by single-chase scenarios: the examples, the
+fixtures, the initial-database generator, and as the materialization target of
+the final-state serializability checker.  The concurrency-control layer uses
+the multiversion store in :mod:`repro.storage.versioned` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..core.schema import DatabaseSchema, SchemaError
+from ..core.terms import DataTerm, LabeledNull
+from ..core.tuples import Tuple
+from .index import PositionIndex
+from .interface import DatabaseView, MutableDatabase, StorageError
+
+
+class FrozenDatabase(DatabaseView):
+    """An immutable snapshot of a :class:`MemoryDatabase`."""
+
+    def __init__(self, schema: DatabaseSchema, contents: Dict[str, frozenset]):
+        self._schema = schema
+        self._contents = contents
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        return self._schema
+
+    def relations(self) -> List[str]:
+        return list(self._contents)
+
+    def tuples(self, relation: str) -> Iterator[Tuple]:
+        return iter(self._contents.get(relation, frozenset()))
+
+    def contains(self, row: Tuple) -> bool:
+        return row in self._contents.get(row.relation, frozenset())
+
+    def count(self, relation: str) -> int:
+        return len(self._contents.get(relation, frozenset()))
+
+
+class MemoryDatabase(MutableDatabase):
+    """A mutable, indexed, single-version in-memory database."""
+
+    def __init__(self, schema: DatabaseSchema):
+        self._schema = schema
+        self._relations: Dict[str, Set[Tuple]] = {
+            name: set() for name in schema.relation_names()
+        }
+        self._index = PositionIndex()
+
+    # ------------------------------------------------------------------
+    # DatabaseView
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> DatabaseSchema:
+        return self._schema
+
+    def relations(self) -> List[str]:
+        return list(self._relations)
+
+    def tuples(self, relation: str) -> Iterator[Tuple]:
+        if relation not in self._relations:
+            raise SchemaError("unknown relation {!r}".format(relation))
+        # Iterate over a copy so callers may mutate while scanning results.
+        return iter(tuple(self._relations[relation]))
+
+    def contains(self, row: Tuple) -> bool:
+        return row in self._relations.get(row.relation, set())
+
+    def tuples_with_value(
+        self, relation: str, position: int, value: DataTerm
+    ) -> Iterator[Tuple]:
+        return iter(tuple(self._index.lookup(relation, position, value)))
+
+    def tuples_containing_null(self, null: LabeledNull) -> Iterator[Tuple]:
+        return iter(tuple(self._index.with_null(null)))
+
+    def count(self, relation: str) -> int:
+        return len(self._relations.get(relation, set()))
+
+    # ------------------------------------------------------------------
+    # MutableDatabase
+    # ------------------------------------------------------------------
+    def insert(self, row: Tuple) -> bool:
+        self._schema.validate_tuple(row)
+        bucket = self._relations[row.relation]
+        if row in bucket:
+            return False
+        bucket.add(row)
+        self._index.add(row)
+        return True
+
+    def delete(self, row: Tuple) -> bool:
+        bucket = self._relations.get(row.relation)
+        if bucket is None:
+            raise SchemaError("unknown relation {!r}".format(row.relation))
+        if row not in bucket:
+            return False
+        bucket.remove(row)
+        self._index.remove(row)
+        return True
+
+    def replace_null(self, null: LabeledNull, value: DataTerm) -> List[Tuple]:
+        affected = list(self._index.with_null(null))
+        modified: List[Tuple] = []
+        for row in affected:
+            replacement = row.substitute({null: value})
+            self.delete(row)
+            # The replacement may collide with an existing tuple; set
+            # semantics make the collision a silent merge, exactly as a
+            # unification should behave.
+            self.insert(replacement)
+            modified.append(replacement)
+        return modified
+
+    def snapshot(self) -> FrozenDatabase:
+        return FrozenDatabase(
+            self._schema,
+            {name: frozenset(rows) for name, rows in self._relations.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+    def insert_all(self, rows) -> int:
+        """Insert every row in *rows*; return how many actually changed the DB."""
+        return sum(1 for row in rows if self.insert(row))
+
+    def clear(self) -> None:
+        """Remove all tuples (the schema is kept)."""
+        for bucket in self._relations.values():
+            bucket.clear()
+        self._index.rebuild(())
+
+    def copy(self) -> "MemoryDatabase":
+        """Deep copy of the store (tuples are immutable and shared)."""
+        duplicate = MemoryDatabase(self._schema)
+        for relation, bucket in self._relations.items():
+            for row in bucket:
+                duplicate.insert(row)
+        return duplicate
+
+    def load_from(self, view: DatabaseView) -> None:
+        """Replace the contents of this store by the contents of *view*."""
+        self.clear()
+        for relation in view.relations():
+            for row in view.tuples(relation):
+                self.insert(row)
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            "{}={}".format(name, len(rows)) for name, rows in self._relations.items() if rows
+        )
+        return "MemoryDatabase({})".format(sizes or "empty")

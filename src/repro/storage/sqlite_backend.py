@@ -1,0 +1,225 @@
+"""SQLite-backed storage and query evaluation.
+
+The paper presents a chase step's reads as SQL queries against an RDBMS
+(Example 4.1).  This backend mirrors a repository into an SQLite database —
+one table per relation, one TEXT column per attribute, terms encoded as
+strings — and evaluates conjunctive and violation queries by generating SQL.
+
+It serves two purposes:
+
+* it demonstrates that the update-exchange machinery runs unchanged on top of
+  a real SQL engine (the backend implements the same
+  :class:`~repro.storage.interface.MutableDatabase` interface as the in-memory
+  store, so the chase engine can use it directly), and
+* it is used by tests to cross-check the in-memory query evaluator against
+  SQLite on the same data.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..core.atoms import Atom
+from ..core.schema import DatabaseSchema, SchemaError
+from ..core.terms import DataTerm, LabeledNull, Variable
+from ..core.tgd import Tgd
+from ..core.tuples import Tuple
+from ..query.sql import (
+    conjunctive_query_sql,
+    create_table_statement,
+    decode_row,
+    decode_term,
+    encode_row,
+    encode_term,
+    quote_identifier,
+    violation_query_sql,
+)
+from .interface import DatabaseView, MutableDatabase
+
+
+class SQLiteDatabase(MutableDatabase):
+    """A repository stored in an SQLite database (in-memory by default)."""
+
+    def __init__(self, schema: DatabaseSchema, path: str = ":memory:"):
+        self._schema = schema
+        self._connection = sqlite3.connect(path)
+        self._connection.execute("PRAGMA synchronous = OFF")
+        for relation in schema.relation_names():
+            self._connection.execute(create_table_statement(schema, relation))
+        self._connection.commit()
+
+    # ------------------------------------------------------------------
+    # DatabaseView
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> DatabaseSchema:
+        return self._schema
+
+    def relations(self) -> List[str]:
+        return self._schema.relation_names()
+
+    def tuples(self, relation: str) -> Iterator[Tuple]:
+        if relation not in self._schema:
+            raise SchemaError("unknown relation {!r}".format(relation))
+        cursor = self._connection.execute(
+            "SELECT DISTINCT * FROM {}".format(quote_identifier(relation))
+        )
+        for fields in cursor.fetchall():
+            yield decode_row(relation, fields)
+
+    def contains(self, row: Tuple) -> bool:
+        where, parameters = self._row_predicate(row)
+        cursor = self._connection.execute(
+            "SELECT 1 FROM {} WHERE {} LIMIT 1".format(
+                quote_identifier(row.relation), where
+            ),
+            parameters,
+        )
+        return cursor.fetchone() is not None
+
+    def tuples_with_value(
+        self, relation: str, position: int, value: DataTerm
+    ) -> Iterator[Tuple]:
+        attribute = self._schema.relation(relation).attributes[position]
+        cursor = self._connection.execute(
+            "SELECT DISTINCT * FROM {} WHERE {} = ?".format(
+                quote_identifier(relation), quote_identifier(attribute)
+            ),
+            (encode_term(value),),
+        )
+        for fields in cursor.fetchall():
+            yield decode_row(relation, fields)
+
+    def count(self, relation: str) -> int:
+        cursor = self._connection.execute(
+            "SELECT COUNT(*) FROM (SELECT DISTINCT * FROM {})".format(
+                quote_identifier(relation)
+            )
+        )
+        return int(cursor.fetchone()[0])
+
+    # ------------------------------------------------------------------
+    # MutableDatabase
+    # ------------------------------------------------------------------
+    def insert(self, row: Tuple) -> bool:
+        self._schema.validate_tuple(row)
+        if self.contains(row):
+            return False
+        placeholders = ", ".join("?" for _ in row.values)
+        self._connection.execute(
+            "INSERT INTO {} VALUES ({})".format(
+                quote_identifier(row.relation), placeholders
+            ),
+            encode_row(row),
+        )
+        self._connection.commit()
+        return True
+
+    def delete(self, row: Tuple) -> bool:
+        if not self.contains(row):
+            return False
+        where, parameters = self._row_predicate(row)
+        self._connection.execute(
+            "DELETE FROM {} WHERE {}".format(quote_identifier(row.relation), where),
+            parameters,
+        )
+        self._connection.commit()
+        return True
+
+    def replace_null(self, null: LabeledNull, value: DataTerm) -> List[Tuple]:
+        modified: List[Tuple] = []
+        encoded_null = encode_term(null)
+        encoded_value = encode_term(value)
+        for relation in self._schema.relation_names():
+            relation_schema = self._schema.relation(relation)
+            for attribute in relation_schema.attributes:
+                self._connection.execute(
+                    "UPDATE {} SET {} = ? WHERE {} = ?".format(
+                        quote_identifier(relation),
+                        quote_identifier(attribute),
+                        quote_identifier(attribute),
+                    ),
+                    (encoded_value, encoded_null),
+                )
+        self._connection.commit()
+        # Report the rewritten rows (those now carrying the replacement value
+        # in at least one column).  A full scan is acceptable here: null
+        # replacement is a user-level operation, not an inner-loop one.
+        for relation in self._schema.relation_names():
+            for row in self.tuples(relation):
+                if value in row.values and not row.contains_null(null):
+                    modified.append(row)
+        return modified
+
+    def snapshot(self) -> DatabaseView:
+        from .memory import FrozenDatabase
+
+        return FrozenDatabase(
+            self._schema,
+            {name: frozenset(self.tuples(name)) for name in self._schema.relation_names()},
+        )
+
+    # ------------------------------------------------------------------
+    # Bulk loading and SQL-level query evaluation
+    # ------------------------------------------------------------------
+    def load_from(self, view: DatabaseView) -> None:
+        """Copy every tuple of *view* into the SQLite mirror."""
+        for relation in view.relations():
+            for row in view.tuples(relation):
+                self.insert(row)
+
+    def evaluate_conjunctive_sql(
+        self,
+        atoms: Sequence[Atom],
+        answer_variables: Sequence[Variable],
+        seed: Optional[Dict[Variable, DataTerm]] = None,
+    ) -> frozenset:
+        """Evaluate a conjunctive query through generated SQL."""
+        sql, parameters = conjunctive_query_sql(
+            atoms, answer_variables, self._schema, seed=seed
+        )
+        cursor = self._connection.execute(sql, parameters)
+        answers = set()
+        for fields in cursor.fetchall():
+            answers.add(tuple(decode_term(field) for field in fields))
+        return frozenset(answers)
+
+    def evaluate_violation_sql(
+        self, tgd: Tgd, seed: Optional[Dict[Variable, DataTerm]] = None
+    ) -> frozenset:
+        """Evaluate the violation query of *tgd* through generated SQL.
+
+        Returns the set of LHS-variable assignments (as frozensets of
+        ``(variable, value)`` pairs) for which the mapping is violated —
+        comparable to the bindings of
+        :class:`~repro.query.violation_query.ViolationRow`.
+        """
+        sql, parameters, answer_variables = violation_query_sql(
+            tgd, self._schema, seed=seed
+        )
+        cursor = self._connection.execute(sql, parameters)
+        results = set()
+        for fields in cursor.fetchall():
+            assignment = frozenset(
+                (variable, decode_term(field))
+                for variable, field in zip(answer_variables, fields)
+            )
+            results.add(assignment)
+        return frozenset(results)
+
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self._connection.close()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _row_predicate(self, row: Tuple):
+        relation_schema = self._schema.relation(row.relation)
+        clauses = []
+        parameters = []
+        for attribute, value in zip(relation_schema.attributes, row.values):
+            clauses.append("{} = ?".format(quote_identifier(attribute)))
+            parameters.append(encode_term(value))
+        return " AND ".join(clauses), parameters

@@ -1,0 +1,295 @@
+"""Multiversion store with per-update visibility (Section 4.1).
+
+The optimistic concurrency-control algorithm needs two guarantees from
+storage:
+
+* an update's writes must not pollute the reads of *lower*-numbered updates —
+  achieved with tuple versions: for an update numbered ``j`` the visible
+  version of a tuple is the one with the largest version number among those
+  created by updates numbered at most ``j``;
+* aborting an update must undo its writes — achieved by removing every
+  version the update created (the update's restart then re-executes from its
+  initial operation).
+
+Versions are numbered by a single global sequence, which realizes the paper's
+"largest number" rule while keeping per-update rollback cheap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple as PyTuple
+
+from ..core.schema import DatabaseSchema, SchemaError
+from ..core.terms import DataTerm, LabeledNull
+from ..core.tuples import Tuple
+from ..core.writes import Write, WriteKind
+from .interface import DatabaseView, StorageError
+from .memory import FrozenDatabase
+
+
+@dataclass(frozen=True)
+class Version:
+    """One version of one stored tuple."""
+
+    #: Global creation sequence number (the paper's per-tuple version number,
+    #: realized globally so comparisons never tie).
+    seq: int
+    #: Priority number of the update that created this version.
+    priority: int
+    #: Tuple content after the write; ``None`` marks a deletion version.
+    content: Optional[Tuple]
+
+
+@dataclass
+class VersionedTuple:
+    """A tuple identity together with all its versions (newest last)."""
+
+    tid: int
+    relation: str
+    versions: List[Version] = field(default_factory=list)
+
+    def visible_version(self, priority: int) -> Optional[Version]:
+        """The version visible to an update numbered *priority* (or ``None``)."""
+        visible: Optional[Version] = None
+        for version in self.versions:
+            if version.priority <= priority:
+                if visible is None or version.seq > visible.seq:
+                    visible = version
+        return visible
+
+    def visible_content(self, priority: int) -> Optional[Tuple]:
+        """The visible tuple content, or ``None`` when invisible/deleted."""
+        version = self.visible_version(priority)
+        if version is None:
+            return None
+        return version.content
+
+
+@dataclass(frozen=True)
+class VersionedWrite:
+    """A write as recorded in the store's log: the write plus its provenance."""
+
+    seq: int
+    priority: int
+    tid: int
+    write: Write
+
+
+#: Priority value that sees every committed and uncommitted version.
+LATEST = float("inf")
+
+
+class VersionedDatabase:
+    """The multiversion repository shared by all concurrently running updates."""
+
+    def __init__(self, schema: DatabaseSchema):
+        self._schema = schema
+        self._tuples: Dict[int, VersionedTuple] = {}
+        self._by_relation: Dict[str, Set[int]] = {
+            name: set() for name in schema.relation_names()
+        }
+        self._tid_counter = itertools.count(1)
+        self._seq_counter = itertools.count(1)
+        self._write_log: List[VersionedWrite] = []
+
+    # ------------------------------------------------------------------
+    # Loading and basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The database schema."""
+        return self._schema
+
+    def load_initial(self, view: DatabaseView, priority: int = 0) -> None:
+        """Load an initial, mapping-satisfying database as priority-0 versions.
+
+        Priority 0 is lower than every real update number, so the initial
+        contents are visible to everyone; loading does not go through the
+        write log (the initial database is not attributable to any update).
+        """
+        for relation in view.relations():
+            for row in view.tuples(relation):
+                self._new_tuple(row, priority, log_write=None)
+
+    def write_log(self) -> List[VersionedWrite]:
+        """The full write log, oldest first."""
+        return list(self._write_log)
+
+    def writes_by(self, priority: int) -> List[VersionedWrite]:
+        """All logged writes performed by the update numbered *priority*."""
+        return [entry for entry in self._write_log if entry.priority == priority]
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def view_for(self, priority: float) -> "VersionedView":
+        """The snapshot visible to an update numbered *priority*."""
+        return VersionedView(self, priority)
+
+    def latest_view(self) -> "VersionedView":
+        """The snapshot that sees every version (for inspection and tests)."""
+        return VersionedView(self, LATEST)
+
+    def materialize(self, priority: float = LATEST) -> FrozenDatabase:
+        """Freeze the view at *priority* into an immutable database."""
+        view = self.view_for(priority)
+        return FrozenDatabase(
+            self._schema,
+            {name: frozenset(view.tuples(name)) for name in self._schema.relation_names()},
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def apply_write(self, write: Write, priority: int) -> Optional[VersionedWrite]:
+        """Apply *write* on behalf of the update numbered *priority*.
+
+        Returns the logged write, or ``None`` when the write had no effect
+        (inserting an already-visible tuple, deleting an invisible one).
+        """
+        if write.kind is WriteKind.INSERT:
+            return self._insert(write, priority)
+        if write.kind is WriteKind.DELETE:
+            return self._delete(write, priority)
+        return self._modify(write, priority)
+
+    def apply_writes(self, writes, priority: int) -> List[VersionedWrite]:
+        """Apply several writes; returns the logged writes that had effect."""
+        applied = []
+        for write in writes:
+            logged = self.apply_write(write, priority)
+            if logged is not None:
+                applied.append(logged)
+        return applied
+
+    def _next_seq(self) -> int:
+        return next(self._seq_counter)
+
+    def _new_tuple(
+        self, row: Tuple, priority: int, log_write: Optional[Write]
+    ) -> VersionedWrite:
+        self._schema.validate_tuple(row)
+        tid = next(self._tid_counter)
+        record = VersionedTuple(tid=tid, relation=row.relation)
+        seq = self._next_seq()
+        record.versions.append(Version(seq=seq, priority=priority, content=row))
+        self._tuples[tid] = record
+        self._by_relation[row.relation].add(tid)
+        logged = VersionedWrite(
+            seq=seq, priority=priority, tid=tid, write=log_write or Write(WriteKind.INSERT, row)
+        )
+        if log_write is not None:
+            self._write_log.append(logged)
+        return logged
+
+    def _find_visible_tid(self, row: Tuple, priority: int) -> Optional[int]:
+        for tid in self._by_relation.get(row.relation, ()):  # pragma: no branch
+            if self._tuples[tid].visible_content(priority) == row:
+                return tid
+        return None
+
+    def _insert(self, write: Write, priority: int) -> Optional[VersionedWrite]:
+        if self._find_visible_tid(write.row, priority) is not None:
+            return None
+        return self._new_tuple(write.row, priority, log_write=write)
+
+    def _delete(self, write: Write, priority: int) -> Optional[VersionedWrite]:
+        tid = self._find_visible_tid(write.row, priority)
+        if tid is None:
+            return None
+        seq = self._next_seq()
+        self._tuples[tid].versions.append(
+            Version(seq=seq, priority=priority, content=None)
+        )
+        logged = VersionedWrite(seq=seq, priority=priority, tid=tid, write=write)
+        self._write_log.append(logged)
+        return logged
+
+    def _modify(self, write: Write, priority: int) -> Optional[VersionedWrite]:
+        if write.old_row is None:
+            raise StorageError("modification write lacks its old content: {!r}".format(write))
+        tid = self._find_visible_tid(write.old_row, priority)
+        if tid is None:
+            return None
+        seq = self._next_seq()
+        self._tuples[tid].versions.append(
+            Version(seq=seq, priority=priority, content=write.row)
+        )
+        logged = VersionedWrite(seq=seq, priority=priority, tid=tid, write=write)
+        self._write_log.append(logged)
+        return logged
+
+    # ------------------------------------------------------------------
+    # Rollback
+    # ------------------------------------------------------------------
+    def rollback(self, priority: int) -> List[VersionedWrite]:
+        """Undo every write performed by the update numbered *priority*.
+
+        Returns the removed log entries (newest first).  Tuple identities
+        created by the update disappear entirely.
+        """
+        removed = [entry for entry in self._write_log if entry.priority == priority]
+        self._write_log = [
+            entry for entry in self._write_log if entry.priority != priority
+        ]
+        for tid, record in list(self._tuples.items()):
+            record.versions = [
+                version for version in record.versions if version.priority != priority
+            ]
+            if not record.versions:
+                del self._tuples[tid]
+                self._by_relation[record.relation].discard(tid)
+        return list(reversed(removed))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def version_count(self) -> int:
+        """Total number of versions stored."""
+        return sum(len(record.versions) for record in self._tuples.values())
+
+    def tuple_count(self) -> int:
+        """Number of tuple identities stored (visible or not)."""
+        return len(self._tuples)
+
+    def priorities_in_log(self) -> Set[int]:
+        """Every update priority that has at least one logged write."""
+        return {entry.priority for entry in self._write_log}
+
+
+class VersionedView(DatabaseView):
+    """The read-only snapshot a given update priority observes."""
+
+    def __init__(self, store: VersionedDatabase, priority: float):
+        self._store = store
+        self._priority = priority
+
+    @property
+    def priority(self) -> float:
+        """The priority whose visibility rule this view applies."""
+        return self._priority
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        return self._store.schema
+
+    def relations(self) -> List[str]:
+        return self._store.schema.relation_names()
+
+    def tuples(self, relation: str) -> Iterator[Tuple]:
+        if relation not in self._store._by_relation:
+            raise SchemaError("unknown relation {!r}".format(relation))
+        seen: Set[Tuple] = set()
+        for tid in tuple(self._store._by_relation[relation]):
+            content = self._store._tuples[tid].visible_content(self._priority)
+            if content is not None and content not in seen:
+                seen.add(content)
+                yield content
+
+    def contains(self, row: Tuple) -> bool:
+        for content in self.tuples(row.relation):
+            if content == row:
+                return True
+        return False

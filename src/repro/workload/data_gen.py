@@ -1,0 +1,73 @@
+"""Initial-database generation via update exchange itself (Section 6).
+
+"Generating the initial database is performed using our update exchange
+techniques themselves, with simulated user interaction; it is not easy to
+obtain an interesting database that satisfies an arbitrary, potentially
+cyclic, set of tgds using another method."
+
+The generator inserts ``num_tuples`` random seed tuples, each through the
+chase with a random oracle standing in for the simulated user, so that the
+resulting database satisfies every mapping.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..core.chase import ChaseConfig, ChaseEngine
+from ..core.oracle import RandomOracle
+from ..core.schema import DatabaseSchema
+from ..core.terms import NullFactory
+from ..core.tgd import MappingSet
+from ..core.tuples import Tuple
+from ..core.update import InsertOperation
+from ..storage.memory import MemoryDatabase
+
+
+def random_seed_tuple(
+    schema: DatabaseSchema,
+    rng: random.Random,
+    constant_pool: Sequence[str],
+    relation: Optional[str] = None,
+) -> Tuple:
+    """A random tuple for a uniformly chosen relation, values from the pool."""
+    if relation is None:
+        relation = rng.choice(schema.relation_names())
+    arity = schema.arity_of(relation)
+    values = [rng.choice(list(constant_pool)) for _ in range(arity)]
+    return Tuple(relation, values)
+
+
+def generate_initial_database(
+    schema: DatabaseSchema,
+    mappings: MappingSet,
+    num_tuples: int,
+    constant_pool: Sequence[str],
+    rng: Optional[random.Random] = None,
+    max_steps_per_insert: int = 2_000,
+) -> MemoryDatabase:
+    """Insert *num_tuples* seed tuples, chasing each insertion to completion.
+
+    The returned database satisfies every mapping in *mappings* (the paper
+    loads the initial database against all 100 mappings so that every
+    experiment prefix is also satisfied initially).
+    """
+    rng = rng if rng is not None else random.Random(7)
+    database = MemoryDatabase(schema)
+    oracle = RandomOracle(rng=random.Random(rng.random()))
+    engine = ChaseEngine(
+        database,
+        mappings,
+        oracle=oracle,
+        null_factory=NullFactory(prefix="g"),
+        config=ChaseConfig(
+            max_steps=max_steps_per_insert,
+            max_frontier_operations=max_steps_per_insert,
+            track_provenance=False,
+        ),
+    )
+    for _ in range(num_tuples):
+        seed = random_seed_tuple(schema, rng, constant_pool)
+        engine.run(InsertOperation(seed))
+    return database

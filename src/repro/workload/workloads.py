@@ -1,0 +1,109 @@
+"""Update workloads for the experiments (Section 6).
+
+Two workloads are used, each of (paper-scale) 500 updates: an all-insert
+workload and a mixed workload of eighty percent inserts and twenty percent
+deletes.  Inserted values are, with equal probability, fresh values or values
+from the constant pool; deleted tuples are chosen uniformly at random from a
+uniformly chosen non-empty relation; the mixed workload's order is randomized
+so that runs do not alternate large batches of inserts and deletes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..core.schema import DatabaseSchema
+from ..core.tuples import Tuple
+from ..core.update import DeleteOperation, InsertOperation, UserOperation
+from ..storage.interface import DatabaseView
+
+
+def random_insert_operation(
+    schema: DatabaseSchema,
+    rng: random.Random,
+    constant_pool: Sequence[str],
+    fresh_counter: List[int],
+    fresh_probability: float = 0.5,
+) -> InsertOperation:
+    """An insert into a uniformly chosen relation with fresh-or-pool values."""
+    relation = rng.choice(schema.relation_names())
+    arity = schema.arity_of(relation)
+    values = []
+    for _ in range(arity):
+        if rng.random() < fresh_probability:
+            fresh_counter[0] += 1
+            values.append("fresh_{}".format(fresh_counter[0]))
+        else:
+            values.append(rng.choice(list(constant_pool)))
+    return InsertOperation(Tuple(relation, values))
+
+
+def random_delete_operation(
+    initial: DatabaseView, rng: random.Random
+) -> Optional[DeleteOperation]:
+    """A delete of a uniformly chosen tuple from a uniformly chosen non-empty relation."""
+    non_empty = [
+        relation for relation in initial.relations() if initial.count(relation) > 0
+    ]
+    if not non_empty:
+        return None
+    relation = rng.choice(non_empty)
+    rows = sorted(initial.tuples(relation), key=repr)
+    return DeleteOperation(rng.choice(rows))
+
+
+def insert_workload(
+    schema: DatabaseSchema,
+    count: int,
+    constant_pool: Sequence[str],
+    rng: Optional[random.Random] = None,
+    fresh_probability: float = 0.5,
+) -> List[UserOperation]:
+    """The all-insert workload of Figure 3."""
+    rng = rng if rng is not None else random.Random(11)
+    fresh_counter = [0]
+    return [
+        random_insert_operation(schema, rng, constant_pool, fresh_counter, fresh_probability)
+        for _ in range(count)
+    ]
+
+
+def mixed_workload(
+    schema: DatabaseSchema,
+    initial: DatabaseView,
+    count: int,
+    constant_pool: Sequence[str],
+    rng: Optional[random.Random] = None,
+    delete_fraction: float = 0.2,
+    fresh_probability: float = 0.5,
+) -> List[UserOperation]:
+    """The 80% insert / 20% delete workload of Figure 4.
+
+    The order of the generated operations is shuffled, as in the paper, so
+    that runs do not consist of alternating large batches of inserts and
+    deletes.
+    """
+    rng = rng if rng is not None else random.Random(13)
+    num_deletes = int(round(count * delete_fraction))
+    num_inserts = count - num_deletes
+    fresh_counter = [0]
+    operations: List[UserOperation] = [
+        random_insert_operation(schema, rng, constant_pool, fresh_counter, fresh_probability)
+        for _ in range(num_inserts)
+    ]
+    deletes: List[UserOperation] = []
+    seen_rows = set()
+    attempts = 0
+    while len(deletes) < num_deletes and attempts < num_deletes * 20:
+        attempts += 1
+        operation = random_delete_operation(initial, rng)
+        if operation is None:
+            break
+        if operation.row in seen_rows:
+            continue
+        seen_rows.add(operation.row)
+        deletes.append(operation)
+    operations.extend(deletes)
+    rng.shuffle(operations)
+    return operations

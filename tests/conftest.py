@@ -1,0 +1,56 @@
+"""Shared pytest fixtures: the paper's example repositories and small helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.oracle import AlwaysUnifyOracle, RandomOracle
+from repro.core.chase import ChaseConfig, ChaseEngine
+from repro.fixtures import (
+    genealogy_mappings,
+    genealogy_repository,
+    travel_database,
+    travel_mappings,
+    travel_repository,
+)
+from repro.storage.versioned import VersionedDatabase
+
+
+@pytest.fixture
+def travel():
+    """A fresh copy of the Figure 2 repository: ``(database, mappings)``."""
+    return travel_repository()
+
+
+@pytest.fixture
+def travel_db(travel):
+    """The Figure 2 database alone."""
+    return travel[0]
+
+
+@pytest.fixture
+def travel_maps(travel):
+    """The Figure 2 mappings alone."""
+    return travel[1]
+
+
+@pytest.fixture
+def travel_engine(travel):
+    """A chase engine over the Figure 2 repository with a seeded random oracle."""
+    database, mappings = travel
+    return ChaseEngine(database, mappings, oracle=RandomOracle(seed=0))
+
+
+@pytest.fixture
+def genealogy():
+    """The genealogy repository: ``(database, mappings)``."""
+    return genealogy_repository()
+
+
+@pytest.fixture
+def versioned_travel(travel):
+    """The Figure 2 repository loaded into a multiversion store."""
+    database, mappings = travel
+    store = VersionedDatabase(database.schema)
+    store.load_initial(database.snapshot())
+    return store, mappings

@@ -1,0 +1,98 @@
+"""Cyclic-mapping behaviour: controlled non-termination and stratum termination."""
+
+import pytest
+
+from repro.core import (
+    AlwaysExpandOracle,
+    AlwaysUnifyOracle,
+    ChaseConfig,
+    ChaseEngine,
+    InsertOperation,
+    RandomOracle,
+    satisfies_all,
+)
+from repro.core.tuples import make_tuple
+
+
+class TestGenealogy:
+    """Person(x) -> exists y . Father(x, y), Person(y): allowed, controlled."""
+
+    def test_expanding_user_keeps_adding_ancestors(self, genealogy):
+        database, mappings = genealogy
+        engine = ChaseEngine(
+            database,
+            mappings,
+            oracle=AlwaysExpandOracle(),
+            config=ChaseConfig(max_frontier_operations=6),
+        )
+        record = engine.run(InsertOperation(make_tuple("Person", "John")))
+        # Non-termination is controlled: the chase only advances one frontier
+        # operation at a time, so the budget bounds the growth.
+        assert not record.terminated
+        assert database.count("Person") >= 2
+        assert database.count("Father") >= 2
+
+    def test_unifying_user_terminates_immediately(self, genealogy):
+        database, mappings = genealogy
+        engine = ChaseEngine(database, mappings, oracle=AlwaysUnifyOracle())
+        record = engine.run(InsertOperation(make_tuple("Person", "John")))
+        assert record.terminated
+        assert database.contains(make_tuple("Father", "John", "John"))
+        assert satisfies_all(mappings, database)
+
+    def test_random_user_terminates_with_probability_one(self, genealogy):
+        database, mappings = genealogy
+        engine = ChaseEngine(
+            database,
+            mappings,
+            oracle=RandomOracle(seed=11),
+            config=ChaseConfig(max_frontier_operations=500, max_steps=2000),
+        )
+        record = engine.run(InsertOperation(make_tuple("Person", "John")))
+        assert record.terminated
+        assert satisfies_all(mappings, database)
+
+    def test_deterministic_stratum_stops_after_first_firing(self, genealogy):
+        """Lemma 2.5: the chase stops along all paths without human input."""
+        database, mappings = genealogy
+        engine = ChaseEngine(
+            database,
+            mappings,
+            oracle=AlwaysExpandOracle(),
+            config=ChaseConfig(max_frontier_operations=1),
+        )
+        record = engine.run(InsertOperation(make_tuple("Person", "John")))
+        # Before the first frontier operation only the initial insert happened;
+        # after one expansion the chase stops again and the budget ends the run.
+        assert record.frontier_operation_count == 1
+        assert database.count("Person") + database.count("Father") <= 3
+
+
+class TestTravelCycle:
+    def test_sigma1_sigma2_cycle_stops_within_bounded_steps(self, travel):
+        database, mappings = travel
+        engine = ChaseEngine(
+            database,
+            mappings,
+            oracle=AlwaysUnifyOracle(),
+            config=ChaseConfig(max_steps=100, raise_on_budget=True),
+        )
+        record = engine.run(InsertOperation(make_tuple("S", "JFK", "NYC", "Ithaca")))
+        assert record.terminated
+        assert record.steps < 100
+        assert satisfies_all(mappings, database)
+
+    def test_every_deterministic_stratum_is_finite(self, travel):
+        """Repeated inserts never hang even though the mapping graph is cyclic."""
+        database, mappings = travel
+        engine = ChaseEngine(
+            database,
+            mappings,
+            oracle=RandomOracle(seed=1),
+            config=ChaseConfig(max_steps=500, raise_on_budget=True),
+        )
+        cities = ["Buffalo", "Rochester", "Albany", "Elmira"]
+        for city in cities:
+            record = engine.run(InsertOperation(make_tuple("C", city)))
+            assert record.terminated
+        assert satisfies_all(mappings, database)

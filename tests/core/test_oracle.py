@@ -1,0 +1,162 @@
+"""Unit tests for frontier oracles."""
+
+import pytest
+
+from repro.core.frontier import (
+    DeleteSubsetOperation,
+    ExpandOperation,
+    NegativeFrontierRequest,
+    PositiveFrontierRequest,
+    UnifyOperation,
+    plan_backward_repair,
+    plan_forward_repair,
+)
+from repro.core.oracle import (
+    AlwaysExpandOracle,
+    AlwaysUnifyOracle,
+    CallbackOracle,
+    CountingOracle,
+    InteractiveOracle,
+    OracleError,
+    RandomOracle,
+    ScriptedOracle,
+)
+from repro.core.terms import NullFactory
+from repro.core.tuples import make_tuple
+from repro.core.violations import violations_for_write
+from repro.core.writes import delete, insert
+from repro.fixtures import genealogy_repository
+
+
+@pytest.fixture
+def positive_request():
+    database, mappings = genealogy_repository()
+    row = make_tuple("Person", "John")
+    database.insert(row)
+    violation = violations_for_write(insert(row), list(mappings), database)[0]
+    request = plan_forward_repair(violation, database, NullFactory(prefix="f"))
+    assert isinstance(request, PositiveFrontierRequest)
+    return request, database
+
+
+@pytest.fixture
+def negative_request(travel):
+    database, mappings = travel
+    removed = make_tuple("R", "XYZ", "Geneva Winery", "Great!")
+    database.delete(removed)
+    violation = violations_for_write(delete(removed), list(mappings), database)[0]
+    request = plan_backward_repair(violation, database)
+    assert isinstance(request, NegativeFrontierRequest)
+    return request, database
+
+
+class TestRandomOracle:
+    def test_decision_is_one_of_the_alternatives(self, positive_request):
+        request, database = positive_request
+        oracle = RandomOracle(seed=3)
+        decision = oracle.decide(request, database)
+        assert any(
+            type(decision) is type(alternative) and decision == alternative
+            for alternative in request.alternatives()
+        )
+
+    def test_seeded_oracle_is_reproducible(self, positive_request):
+        request, database = positive_request
+        first = RandomOracle(seed=9).decide(request, database)
+        second = RandomOracle(seed=9).decide(request, database)
+        assert first == second
+
+    def test_reset_restores_the_seed(self, positive_request):
+        request, database = positive_request
+        oracle = RandomOracle(seed=4)
+        first = oracle.decide(request, database)
+        oracle.reset()
+        assert oracle.decide(request, database) == first
+
+
+class TestPolicyOracles:
+    def test_always_expand(self, positive_request, negative_request):
+        request, database = positive_request
+        assert isinstance(AlwaysExpandOracle().decide(request, database), ExpandOperation)
+        request, database = negative_request
+        decision = AlwaysExpandOracle().decide(request, database)
+        assert isinstance(decision, DeleteSubsetOperation)
+
+    def test_always_unify_prefers_unification(self, positive_request):
+        request, database = positive_request
+        decision = AlwaysUnifyOracle().decide(request, database)
+        assert isinstance(decision, UnifyOperation)
+
+    def test_always_unify_on_negative_request(self, negative_request):
+        request, database = negative_request
+        decision = AlwaysUnifyOracle().decide(request, database)
+        assert isinstance(decision, DeleteSubsetOperation)
+        assert len(decision.rows) == 1
+
+
+class TestScriptedOracle:
+    def test_replays_operations_in_order(self, positive_request):
+        request, database = positive_request
+        expand = ExpandOperation(request.frontier_tuples[0])
+        oracle = ScriptedOracle([expand])
+        assert oracle.decide(request, database) is expand
+        assert oracle.decisions_used == 1
+
+    def test_callable_entries_receive_the_request(self, positive_request):
+        request, database = positive_request
+        oracle = ScriptedOracle([lambda req, view: ExpandOperation(req.frontier_tuples[0])])
+        decision = oracle.decide(request, database)
+        assert isinstance(decision, ExpandOperation)
+
+    def test_exhausted_script_raises(self, positive_request):
+        request, database = positive_request
+        oracle = ScriptedOracle([])
+        with pytest.raises(OracleError):
+            oracle.decide(request, database)
+
+    def test_reset_rewinds_the_script(self, positive_request):
+        request, database = positive_request
+        oracle = ScriptedOracle([lambda req, view: ExpandOperation(req.frontier_tuples[0])])
+        oracle.decide(request, database)
+        oracle.reset()
+        assert oracle.decisions_used == 0
+        oracle.decide(request, database)
+
+
+class TestCountingAndCallbackOracles:
+    def test_counting_oracle_counts_request_kinds(self, positive_request, negative_request):
+        oracle = CountingOracle(AlwaysExpandOracle())
+        request, database = positive_request
+        oracle.decide(request, database)
+        request, database = negative_request
+        oracle.decide(request, database)
+        assert oracle.positive_requests == 1
+        assert oracle.negative_requests == 1
+        assert oracle.total_requests == 2
+        oracle.reset()
+        assert oracle.total_requests == 0
+
+    def test_callback_oracle_delegates(self, positive_request):
+        request, database = positive_request
+        seen = []
+
+        def callback(req, view):
+            seen.append(req)
+            return ExpandOperation(req.frontier_tuples[0])
+
+        oracle = CallbackOracle(callback)
+        oracle.decide(request, database)
+        assert seen == [request]
+
+
+class TestInteractiveOracle:
+    def test_prompts_until_a_valid_choice(self, positive_request):
+        request, database = positive_request
+        answers = iter(["not a number", "999", "0"])
+        outputs = []
+        oracle = InteractiveOracle(
+            input_function=lambda prompt: next(answers), echo=outputs.append
+        )
+        decision = oracle.decide(request, database)
+        assert decision == request.alternatives()[0]
+        assert any("Frontier reached" in line for line in outputs)

@@ -1,0 +1,164 @@
+"""Tests for violation queries (Example 4.1) and correction queries."""
+
+import pytest
+
+from repro.core.terms import Constant, LabeledNull, Variable
+from repro.core.tuples import make_tuple
+from repro.core.writes import delete, insert, modify
+from repro.query.correction_query import (
+    MoreSpecificQuery,
+    NullOccurrenceQuery,
+    correction_queries_for_frontier_tuple,
+)
+from repro.query.violation_query import (
+    ViolationQuery,
+    seeds_for_lhs_write,
+    seeds_for_rhs_write,
+    violation_queries_for_write_row,
+)
+
+
+class TestViolationQuery:
+    def test_satisfied_database_has_no_answers(self, travel):
+        database, mappings = travel
+        for tgd in mappings:
+            assert ViolationQuery(tgd).evaluate(database) == frozenset()
+
+    def test_example_4_1_deleting_the_review(self, travel):
+        """Deleting R(XYZ, Geneva Winery, Great!) makes the seeded query return the A/T pair."""
+        database, mappings = travel
+        sigma3 = mappings.by_name("sigma3")
+        removed = make_tuple("R", "XYZ", "Geneva Winery", "Great!")
+        database.delete(removed)
+        queries = violation_queries_for_write_row(sigma3, removed, removed=True)
+        assert len(queries) == 1
+        answers = queries[0].evaluate(database)
+        assert len(answers) == 1
+        row = next(iter(answers))
+        witness_relations = [witness.relation for witness in row.witness]
+        assert witness_relations == ["A", "T"]
+        assignment = row.assignment()
+        assert assignment[Variable("n")] == Constant("Geneva Winery")
+        assert assignment[Variable("c")] == Constant("XYZ")
+
+    def test_seed_restricts_to_the_written_tuple(self, travel):
+        database, mappings = travel
+        sigma3 = mappings.by_name("sigma3")
+        new_tour = make_tuple("T", "Niagara Falls", "ABC Tours", "Toronto")
+        database.insert(new_tour)
+        # Unseeded query: one violation; seeded with an unrelated tour: none.
+        assert len(ViolationQuery(sigma3).evaluate(database)) == 1
+        unrelated_seed = {Variable("c"): Constant("XYZ"), Variable("n"): Constant("Geneva Winery")}
+        assert ViolationQuery(sigma3, unrelated_seed).evaluate(database) == frozenset()
+
+    def test_relations_include_both_sides(self, travel_maps):
+        sigma3 = travel_maps.by_name("sigma3")
+        assert ViolationQuery(sigma3).relations() == {"A", "T", "R"}
+
+    def test_affected_by_write_delta_semantics(self, travel):
+        database, mappings = travel
+        sigma3 = mappings.by_name("sigma3")
+        new_tour = make_tuple("T", "Niagara Falls", "ABC Tours", "Toronto")
+        query = ViolationQuery(sigma3, seeds_for_lhs_write(sigma3, new_tour)[0])
+        database.insert(new_tour)
+        # The insert of the tour itself changes the (previously empty) answer.
+        assert query.affected_by(insert(new_tour), database)
+        # An insert into an unrelated relation does not.
+        unrelated = make_tuple("C", "Corning")
+        database.insert(unrelated)
+        assert not query.affected_by(insert(unrelated), database)
+
+    def test_equality_and_hash(self, travel_maps):
+        sigma3 = travel_maps.by_name("sigma3")
+        assert ViolationQuery(sigma3) == ViolationQuery(sigma3)
+        assert hash(ViolationQuery(sigma3)) == hash(ViolationQuery(sigma3))
+        seeded = ViolationQuery(sigma3, {Variable("c"): Constant("XYZ")})
+        assert seeded != ViolationQuery(sigma3)
+
+
+class TestSeeding:
+    def test_lhs_seeds_bind_matching_atoms(self, travel_maps):
+        sigma3 = travel_maps.by_name("sigma3")
+        new_tour = make_tuple("T", "Niagara Falls", "ABC Tours", "Toronto")
+        seeds = seeds_for_lhs_write(sigma3, new_tour)
+        assert len(seeds) == 1
+        assert seeds[0][Variable("n")] == Constant("Niagara Falls")
+
+    def test_rhs_seeds_restrict_to_frontier_variables(self, travel_maps):
+        sigma3 = travel_maps.by_name("sigma3")
+        removed = make_tuple("R", "XYZ", "Geneva Winery", "Great!")
+        seeds = seeds_for_rhs_write(sigma3, removed)
+        assert len(seeds) == 1
+        # The review variable r is existential and must not be constrained.
+        assert Variable("r") not in seeds[0]
+        assert seeds[0][Variable("c")] == Constant("XYZ")
+
+    def test_self_join_produces_multiple_seeds(self):
+        from repro.core.tgd import parse_tgd
+
+        tgd = parse_tgd("E(x, y), E(y, z) -> E(x, z)")
+        seeds = seeds_for_lhs_write(tgd, make_tuple("E", "a", "b"))
+        assert len(seeds) == 2
+
+    def test_non_matching_row_gives_no_seed(self, travel_maps):
+        sigma1 = travel_maps.by_name("sigma1")
+        assert seeds_for_lhs_write(sigma1, make_tuple("T", "a", "b", "c")) == []
+
+
+class TestMoreSpecificQuery:
+    def test_finds_candidates(self, travel_db):
+        query = MoreSpecificQuery(make_tuple("C", LabeledNull("q")))
+        assert query.evaluate(travel_db) == frozenset(
+            {make_tuple("C", "Ithaca"), make_tuple("C", "Syracuse")}
+        )
+
+    def test_exact_database_free_affectedness(self, travel_db):
+        query = MoreSpecificQuery(make_tuple("C", LabeledNull("q")))
+        assert query.affected_by(insert(make_tuple("C", "NYC")), travel_db)
+        assert not query.affected_by(insert(make_tuple("V", "NYC", "Expo")), travel_db)
+        # A tuple that is not more specific than the pattern cannot matter.
+        pattern = MoreSpecificQuery(make_tuple("C", "Ithaca"))
+        assert not pattern.affected_by(insert(make_tuple("C", "NYC")), travel_db)
+
+    def test_modify_write_checks_both_old_and_new_content(self, travel_db):
+        query = MoreSpecificQuery(make_tuple("C", LabeledNull("q")))
+        write = modify(
+            make_tuple("C", "Ithaca"), make_tuple("C", "Ithaca NY"), LabeledNull("z"), Constant("v")
+        )
+        assert query.affected_by(write, travel_db)
+
+
+class TestNullOccurrenceQuery:
+    def test_finds_every_occurrence(self, travel_db):
+        query = NullOccurrenceQuery(LabeledNull("x1"))
+        answers = query.evaluate(travel_db)
+        assert answers == frozenset(
+            {
+                make_tuple("T", "Niagara Falls", LabeledNull("x1"), "Toronto"),
+                make_tuple("R", LabeledNull("x1"), "Niagara Falls", LabeledNull("x2")),
+            }
+        )
+
+    def test_affectedness_is_exact_and_database_free(self, travel_db):
+        query = NullOccurrenceQuery(LabeledNull("x1"))
+        assert query.affected_by(
+            insert(make_tuple("R", LabeledNull("x1"), "Other", "ok")), travel_db
+        )
+        assert not query.affected_by(insert(make_tuple("C", "NYC")), travel_db)
+        assert query.affected_by(
+            delete(make_tuple("T", "Niagara Falls", LabeledNull("x1"), "Toronto")), travel_db
+        )
+
+
+class TestCorrectionQueriesForFrontierTuple:
+    def test_occurrence_queries_only_when_candidates_exist(self, travel_db):
+        frontier_row = make_tuple("C", LabeledNull("x9"))
+        queries = correction_queries_for_frontier_tuple(frontier_row, travel_db)
+        kinds = [query.kind for query in queries]
+        assert kinds[0] == "more-specific"
+        assert "null-occurrence" in kinds
+
+    def test_no_occurrence_queries_without_candidates(self, travel_db):
+        frontier_row = make_tuple("V", "Utica", LabeledNull("x9"))
+        queries = correction_queries_for_frontier_tuple(frontier_row, travel_db)
+        assert [query.kind for query in queries] == ["more-specific"]

@@ -1,0 +1,202 @@
+"""Tests for the in-memory store, its index, snapshots and overlay views."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schema import DatabaseSchema, SchemaError
+from repro.core.terms import Constant, LabeledNull
+from repro.core.tuples import Tuple, make_tuple
+from repro.core.writes import delete, insert, modify
+from repro.storage.index import PositionIndex
+from repro.storage.interface import dump_sorted
+from repro.storage.memory import MemoryDatabase
+from repro.storage.overlay import OverlayView, view_with_write, view_without_write
+
+
+@pytest.fixture
+def small_db():
+    schema = DatabaseSchema.from_dict({"P": ["a", "b"], "Q": ["a"]})
+    return MemoryDatabase(schema)
+
+
+class TestMemoryDatabase:
+    def test_insert_and_contains(self, small_db):
+        row = make_tuple("P", "x", "y")
+        assert small_db.insert(row)
+        assert small_db.contains(row)
+        assert not small_db.insert(row), "duplicate insert is a no-op"
+        assert small_db.count("P") == 1
+
+    def test_delete(self, small_db):
+        row = make_tuple("P", "x", "y")
+        small_db.insert(row)
+        assert small_db.delete(row)
+        assert not small_db.delete(row)
+        assert small_db.count("P") == 0
+
+    def test_schema_violations_rejected(self, small_db):
+        with pytest.raises(SchemaError):
+            small_db.insert(make_tuple("P", "only-one"))
+        with pytest.raises(SchemaError):
+            small_db.insert(make_tuple("Unknown", "x"))
+        with pytest.raises(SchemaError):
+            list(small_db.tuples("Unknown"))
+
+    def test_indexed_value_lookup(self, small_db):
+        small_db.insert(make_tuple("P", "x", "y"))
+        small_db.insert(make_tuple("P", "x", "z"))
+        small_db.insert(make_tuple("P", "w", "y"))
+        found = set(small_db.tuples_with_value("P", 0, Constant("x")))
+        assert found == {make_tuple("P", "x", "y"), make_tuple("P", "x", "z")}
+
+    def test_null_occurrence_lookup(self, small_db):
+        null = LabeledNull("n1")
+        small_db.insert(Tuple("P", [null, Constant("y")]))
+        small_db.insert(make_tuple("Q", "v"))
+        found = set(small_db.tuples_containing_null(null))
+        assert found == {Tuple("P", [null, Constant("y")])}
+
+    def test_replace_null_rewrites_and_merges(self, small_db):
+        null = LabeledNull("n1")
+        small_db.insert(Tuple("P", [null, Constant("y")]))
+        small_db.insert(make_tuple("P", "v", "y"))
+        modified = small_db.replace_null(null, Constant("v"))
+        assert modified == [make_tuple("P", "v", "y")]
+        # The rewritten tuple collides with the existing one: set semantics merge them.
+        assert small_db.count("P") == 1
+
+    def test_snapshot_is_immutable_copy(self, small_db):
+        row = make_tuple("Q", "v")
+        small_db.insert(row)
+        snapshot = small_db.snapshot()
+        small_db.delete(row)
+        assert snapshot.contains(row)
+        assert not small_db.contains(row)
+        assert snapshot.count("Q") == 1
+
+    def test_copy_and_load_from(self, small_db):
+        small_db.insert(make_tuple("Q", "v"))
+        duplicate = small_db.copy()
+        duplicate.insert(make_tuple("Q", "w"))
+        assert small_db.count("Q") == 1
+        fresh = MemoryDatabase(small_db.schema)
+        fresh.load_from(duplicate)
+        assert fresh.count("Q") == 2
+
+    def test_insert_all_and_clear(self, small_db):
+        inserted = small_db.insert_all(
+            [make_tuple("Q", "a"), make_tuple("Q", "a"), make_tuple("Q", "b")]
+        )
+        assert inserted == 2
+        small_db.clear()
+        assert small_db.total_count() == 0
+
+    def test_dump_sorted_is_stable(self, small_db):
+        small_db.insert(make_tuple("Q", "b"))
+        small_db.insert(make_tuple("Q", "a"))
+        assert dump_sorted(small_db) == ["Q(a)", "Q(b)"]
+
+
+class TestPositionIndex:
+    def test_add_remove_lookup(self):
+        index = PositionIndex()
+        row = make_tuple("P", "x", LabeledNull("n"))
+        index.add(row)
+        assert index.lookup("P", 0, Constant("x")) == {row}
+        assert index.with_null(LabeledNull("n")) == {row}
+        index.remove(row)
+        assert index.lookup("P", 0, Constant("x")) == set()
+        assert index.with_null(LabeledNull("n")) == set()
+        assert len(index) == 0
+
+    def test_remove_missing_row_is_noop(self):
+        index = PositionIndex()
+        index.remove(make_tuple("P", "x", "y"))
+
+    def test_rebuild(self):
+        index = PositionIndex()
+        rows = [make_tuple("P", "a", "b"), make_tuple("P", "c", "d")]
+        index.rebuild(rows)
+        assert index.lookup("P", 1, Constant("d")) == {rows[1]}
+
+
+class TestOverlayViews:
+    def test_overlay_adds_and_hides(self, travel_db):
+        added = make_tuple("C", "NYC")
+        hidden = make_tuple("C", "Ithaca")
+        view = OverlayView(travel_db, added={added}, hidden={hidden})
+        cities = set(view.tuples("C"))
+        assert added in cities and hidden not in cities
+        assert view.contains(added)
+        assert not view.contains(hidden)
+        assert view.count("C") == 2
+
+    def test_view_without_insert_hides_the_row(self, travel_db):
+        row = make_tuple("C", "NYC")
+        travel_db.insert(row)
+        view = view_without_write(travel_db, insert(row))
+        assert not view.contains(row)
+        assert travel_db.contains(row)
+
+    def test_view_without_delete_restores_the_row(self, travel_db):
+        row = make_tuple("C", "Ithaca")
+        travel_db.delete(row)
+        view = view_without_write(travel_db, delete(row))
+        assert view.contains(row)
+
+    def test_view_without_modify_restores_old_content(self, travel_db):
+        old = make_tuple("C", "Ithaca")
+        new = make_tuple("C", "Ithaca NY")
+        travel_db.delete(old)
+        travel_db.insert(new)
+        write = modify(old, new, LabeledNull("z"), Constant("v"))
+        view = view_without_write(travel_db, write)
+        assert view.contains(old)
+        assert not view.contains(new)
+
+    def test_view_with_write_previews_an_insert(self, travel_db):
+        row = make_tuple("C", "NYC")
+        view = view_with_write(travel_db, insert(row))
+        assert view.contains(row)
+        assert not travel_db.contains(row)
+
+    def test_indexed_lookups_respect_the_overlay(self, travel_db):
+        added = make_tuple("C", "NYC")
+        view = OverlayView(travel_db, added={added})
+        assert added in set(view.tuples_with_value("C", 0, Constant("NYC")))
+        null_row = make_tuple("T", "Niagara Falls", LabeledNull("x1"), "Toronto")
+        view = OverlayView(travel_db, hidden={null_row})
+        assert null_row not in set(view.tuples_containing_null(LabeledNull("x1")))
+
+
+# ----------------------------------------------------------------------
+# Property test: a sequence of random writes keeps store and model in sync.
+# ----------------------------------------------------------------------
+_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.sampled_from(["P", "Q"]),
+        st.sampled_from(["a", "b", "c"]),
+        st.sampled_from(["a", "b", "c"]),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_operations)
+def test_memory_database_matches_a_python_set_model(operations):
+    schema = DatabaseSchema.from_dict({"P": ["a", "b"], "Q": ["a", "b"]})
+    database = MemoryDatabase(schema)
+    model = {"P": set(), "Q": set()}
+    for action, relation, first, second in operations:
+        row = make_tuple(relation, first, second)
+        if action == "insert":
+            database.insert(row)
+            model[relation].add(row)
+        else:
+            database.delete(row)
+            model[relation].discard(row)
+    for relation in ("P", "Q"):
+        assert set(database.tuples(relation)) == model[relation]
+        assert database.count(relation) == len(model[relation])

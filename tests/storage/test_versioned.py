@@ -1,0 +1,131 @@
+"""Tests for the multiversion store: visibility, write log, rollback."""
+
+import pytest
+
+from repro.core.schema import DatabaseSchema
+from repro.core.terms import Constant, LabeledNull
+from repro.core.tuples import make_tuple
+from repro.core.writes import delete, insert, modify
+from repro.storage.memory import MemoryDatabase
+from repro.storage.versioned import LATEST, VersionedDatabase
+
+
+@pytest.fixture
+def store():
+    schema = DatabaseSchema.from_dict({"P": ["a"], "Q": ["a", "b"]})
+    return VersionedDatabase(schema)
+
+
+class TestVisibility:
+    def test_initial_load_is_visible_to_everyone(self, store):
+        initial = MemoryDatabase(store.schema)
+        initial.insert(make_tuple("P", "base"))
+        store.load_initial(initial.snapshot())
+        assert store.view_for(1).contains(make_tuple("P", "base"))
+        assert store.view_for(99).contains(make_tuple("P", "base"))
+        # The initial load is not attributed to any update.
+        assert store.write_log() == []
+
+    def test_writes_visible_only_to_same_or_higher_priorities(self, store):
+        store.apply_write(insert(make_tuple("P", "v")), priority=5)
+        assert not store.view_for(4).contains(make_tuple("P", "v"))
+        assert store.view_for(5).contains(make_tuple("P", "v"))
+        assert store.view_for(6).contains(make_tuple("P", "v"))
+        assert store.latest_view().contains(make_tuple("P", "v"))
+
+    def test_deletion_hides_the_tuple_for_higher_priorities_only(self, store):
+        store.apply_write(insert(make_tuple("P", "v")), priority=1)
+        store.apply_write(delete(make_tuple("P", "v")), priority=3)
+        assert store.view_for(2).contains(make_tuple("P", "v"))
+        assert not store.view_for(3).contains(make_tuple("P", "v"))
+        assert not store.view_for(10).contains(make_tuple("P", "v"))
+
+    def test_later_version_of_same_update_wins(self, store):
+        store.apply_write(insert(make_tuple("P", "v")), priority=2)
+        store.apply_write(delete(make_tuple("P", "v")), priority=2)
+        assert not store.view_for(2).contains(make_tuple("P", "v"))
+
+    def test_modification_changes_content_for_viewers(self, store):
+        old = make_tuple("Q", LabeledNull("x"), "b")
+        new = make_tuple("Q", "filled", "b")
+        store.apply_write(insert(old), priority=1)
+        store.apply_write(modify(old, new, LabeledNull("x"), Constant("filled")), priority=4)
+        assert store.view_for(2).contains(old)
+        assert not store.view_for(2).contains(new)
+        assert store.view_for(4).contains(new)
+        assert not store.view_for(4).contains(old)
+
+    def test_noop_writes_are_not_logged(self, store):
+        store.apply_write(insert(make_tuple("P", "v")), priority=1)
+        assert store.apply_write(insert(make_tuple("P", "v")), priority=2) is None
+        assert store.apply_write(delete(make_tuple("P", "zzz")), priority=2) is None
+        assert len(store.write_log()) == 1
+
+    def test_lower_priority_cannot_delete_invisible_tuple(self, store):
+        store.apply_write(insert(make_tuple("P", "v")), priority=7)
+        assert store.apply_write(delete(make_tuple("P", "v")), priority=3) is None
+
+    def test_materialize_freezes_a_view(self, store):
+        store.apply_write(insert(make_tuple("P", "v")), priority=1)
+        frozen = store.materialize()
+        store.apply_write(delete(make_tuple("P", "v")), priority=2)
+        assert frozen.contains(make_tuple("P", "v"))
+
+
+class TestWriteLogAndRollback:
+    def test_write_log_records_priority_and_order(self, store):
+        store.apply_write(insert(make_tuple("P", "a")), priority=1)
+        store.apply_write(insert(make_tuple("P", "b")), priority=2)
+        log = store.write_log()
+        assert [entry.priority for entry in log] == [1, 2]
+        assert [entry.write.row for entry in log] == [make_tuple("P", "a"), make_tuple("P", "b")]
+        assert store.writes_by(2)[0].write.row == make_tuple("P", "b")
+        assert store.priorities_in_log() == {1, 2}
+
+    def test_rollback_removes_versions_and_log_entries(self, store):
+        store.apply_write(insert(make_tuple("P", "keep")), priority=1)
+        store.apply_write(insert(make_tuple("P", "drop")), priority=2)
+        removed = store.rollback(2)
+        assert [entry.write.row for entry in removed] == [make_tuple("P", "drop")]
+        assert not store.latest_view().contains(make_tuple("P", "drop"))
+        assert store.latest_view().contains(make_tuple("P", "keep"))
+        assert store.priorities_in_log() == {1}
+
+    def test_rollback_of_a_delete_restores_visibility(self, store):
+        store.apply_write(insert(make_tuple("P", "v")), priority=1)
+        store.apply_write(delete(make_tuple("P", "v")), priority=2)
+        assert not store.latest_view().contains(make_tuple("P", "v"))
+        store.rollback(2)
+        assert store.latest_view().contains(make_tuple("P", "v"))
+
+    def test_rollback_of_unknown_priority_is_noop(self, store):
+        store.apply_write(insert(make_tuple("P", "v")), priority=1)
+        assert store.rollback(9) == []
+        assert store.latest_view().contains(make_tuple("P", "v"))
+
+    def test_counts(self, store):
+        store.apply_write(insert(make_tuple("P", "a")), priority=1)
+        store.apply_write(delete(make_tuple("P", "a")), priority=2)
+        assert store.tuple_count() == 1
+        assert store.version_count() == 2
+
+
+class TestVersionedView:
+    def test_view_reports_schema_and_relations(self, store):
+        view = store.view_for(1)
+        assert view.schema is store.schema
+        assert set(view.relations()) == {"P", "Q"}
+        assert view.priority == 1
+
+    def test_unknown_relation_rejected(self, store):
+        from repro.core.schema import SchemaError
+
+        with pytest.raises(SchemaError):
+            list(store.view_for(1).tuples("Nope"))
+
+    def test_duplicate_contents_collapse_in_iteration(self, store):
+        # Two different updates insert the same tuple value (the second one is
+        # a no-op only if it can see the first; with a lower priority it cannot).
+        store.apply_write(insert(make_tuple("P", "v")), priority=5)
+        store.apply_write(insert(make_tuple("P", "v")), priority=3)
+        assert list(store.view_for(10).tuples("P")) == [make_tuple("P", "v")]

@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs to completion and prints what it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name, timeout=300):
+    script = EXAMPLES_DIR / name
+    assert script.exists(), "missing example {}".format(name)
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_quickstart_example():
+    output = _run_example("quickstart.py")
+    assert "satisfies all mappings: True" in output
+    assert "insert R(ABC Tours, Niagara Falls" in output
+    assert "Breathtaking falls!" in output
+
+
+def test_travel_repository_example():
+    output = _run_example("travel_repository.py")
+    assert "Mapping graph has a cycle: True" in output
+    assert "satisfied: True" in output
+    assert "delete" in output
+
+
+def test_genealogy_example():
+    output = _run_example("genealogy.py")
+    assert "Weakly acyclic" in output
+    assert "Father(" in output
+    assert "satisfied: True" in output
+
+
+def test_interference_example():
+    output = _run_example("interference.py")
+    assert "aborts=1" in output
+    assert "matches the serial order u1 -> u2: True" in output
+
+
+@pytest.mark.slow
+def test_synthetic_workload_example():
+    output = _run_example("synthetic_workload.py", timeout=900)
+    assert "Workload: all-insert" in output
+    assert "PRECISE" in output
