@@ -7,8 +7,13 @@ ablation called out in DESIGN.md).
 """
 
 from repro.core import ChaseEngine, InsertOperation, RandomOracle, make_tuple
+from repro.core.schema import DatabaseSchema, RelationSchema
+from repro.core.terms import LabeledNull
+from repro.core.tuples import Tuple
 from repro.fixtures import travel_mappings, travel_repository, travel_tuples, travel_schema
 from repro.query.violation_query import ViolationQuery
+from repro.storage.interface import DatabaseView
+from repro.storage.memory import MemoryDatabase
 from repro.storage.sqlite_backend import SQLiteDatabase
 
 
@@ -54,3 +59,46 @@ def test_violation_query_sqlite_backend(benchmark):
     violations = benchmark(evaluate_all)
     assert violations == 1
     database.close()
+
+
+def _correction_query_database(rows=4000):
+    """A wide relation with a sprinkling of nulls, big enough to punish scans."""
+    schema = DatabaseSchema.from_relations(
+        [RelationSchema("Fact", ["a", "b", "c"])]
+    )
+    database = MemoryDatabase(schema)
+    shared = LabeledNull("shared")
+    for index in range(rows):
+        if index % 97 == 0:
+            database.insert(Tuple("Fact", ("k{}".format(index % 13), shared, "v{}".format(index))))
+        else:
+            database.insert(
+                make_tuple("Fact", "k{}".format(index % 13), "m{}".format(index % 29), "v{}".format(index))
+            )
+    return database, shared
+
+
+def test_more_specific_correction_query_is_indexed(benchmark):
+    """The chase-hot correction queries must use the index, not scan.
+
+    ``more_specific_tuples`` and ``tuples_containing_null`` run once per
+    generated tuple / null occurrence on the chase hot path; the
+    :class:`DatabaseView` defaults scan the relation (or the whole database).
+    This asserts the indexed overrides return exactly what the default scans
+    return, while the benchmark records their cost on a database large enough
+    that a scan would dominate the chase step.
+    """
+    database, shared = _correction_query_database()
+    pattern = Tuple("Fact", ("k3", LabeledNull("probe1"), LabeledNull("probe2")))
+
+    def indexed_queries():
+        specific = database.more_specific_tuples(pattern)
+        with_null = list(database.tuples_containing_null(shared))
+        return specific, with_null
+
+    specific, with_null = benchmark(indexed_queries)
+    # Correctness: identical answers to the interface's default full scans.
+    assert set(specific) == set(DatabaseView.more_specific_tuples(database, pattern))
+    assert set(with_null) == set(DatabaseView.tuples_containing_null(database, shared))
+    assert len(specific) > 0
+    assert len(with_null) > 0

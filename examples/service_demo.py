@@ -1,0 +1,134 @@
+"""The update-exchange service: eight collaborating clients, one repository.
+
+Eight clients connect to a :class:`~repro.service.RepositoryService` over the
+genealogy repository (whose cyclic mapping parks every ``Person`` insert on a
+frontier question: "is the generated father the same person as someone we
+already know?").  Each client submits an insert; every update parks; clients
+then answer *each other's* questions with a delay.  While an update is parked
+it takes no chase steps at all — verified below with step counters — which is
+exactly what lets the service wait on humans without burning the scheduler.
+"""
+
+from repro.core import InsertOperation, make_tuple
+from repro.core.frontier import UnifyOperation
+from repro.fixtures import genealogy_repository
+from repro.service import AdmissionConfig, RepositoryService, TicketStatus
+
+
+def main() -> None:
+    database, mappings = genealogy_repository()
+    service = RepositoryService(
+        database.snapshot(),
+        mappings,
+        tracker="PRECISE",
+        admission=AdmissionConfig(max_in_flight=8, batch_size=8),
+    )
+
+    names = ["alice", "bo", "chen", "dana", "eli", "fatima", "george", "hana"]
+    sessions = [service.open_session(name) for name in names]
+    print("opened {} client sessions".format(len(sessions)))
+
+    tickets = [
+        service.submit(
+            session.session_id,
+            InsertOperation(make_tuple("Person", session.name.capitalize())),
+        )
+        for session in sessions
+    ]
+
+    # One pump: every insert chases to its frontier and parks. No answers yet.
+    report = service.pump()
+    parked = [ticket for ticket in tickets if ticket.is_parked]
+    print(
+        "after one pump: {} steps taken, {} updates parked on frontier questions".format(
+            report.steps, len(parked)
+        )
+    )
+    assert len(parked) >= 1
+
+    # Pin alice's update and freeze its counters while everyone else proceeds.
+    watched = tickets[0]
+    watched_execution = service.scheduler.execution(watched.priority)
+    assert watched_execution is not None and watched_execution.is_parked
+    steps_before = watched_execution.steps_taken
+    scheduler_steps_before = service.statistics.steps
+
+    # The *other* seven questions get answered by the next client over;
+    # alice's question stays open, so her update must not move.
+    for question in list(service.inbox()):
+        if question.ticket is watched:
+            continue
+        asker_index = names.index(
+            service.session(question.ticket.session_id).name
+        )
+        answerer = sessions[(asker_index + 1) % len(sessions)]
+        unify = [
+            alternative
+            for alternative in question.alternatives()
+            if isinstance(alternative, UnifyOperation)
+        ][0]
+        service.answer(answerer.session_id, question.decision_id, unify)
+        service.pump()
+
+    # The other updates terminated, but none may commit yet: alice holds the
+    # lowest priority, and commits advance strictly from the bottom up.
+    terminated_others = [
+        ticket
+        for ticket in tickets[1:]
+        if service.scheduler.execution(ticket.priority).is_terminated
+    ]
+    print(
+        "{} other updates finished their chases while alice stayed parked "
+        "(all queued behind her for commit)".format(len(terminated_others))
+    )
+    print(
+        "alice's update steps while parked unchanged: {}".format(
+            watched_execution.steps_taken == steps_before
+        )
+    )
+    print(
+        "scheduler stepped {} times meanwhile (none for alice)".format(
+            service.statistics.steps - scheduler_steps_before
+        )
+    )
+    assert watched_execution.steps_taken == steps_before
+    assert watched.is_parked
+
+    # Now a later client (bo) answers alice's question; her update resumes.
+    question = service.inbox()[0]
+    assert question.ticket is watched
+    unify = [
+        alternative
+        for alternative in question.alternatives()
+        if isinstance(alternative, UnifyOperation)
+    ][0]
+    service.answer(sessions[1].session_id, question.decision_id, unify)
+    service.pump()
+    print(
+        "alice's update resumed by {} and is now: {}".format(
+            sessions[1].name, watched.status.value
+        )
+    )
+    assert watched.status is TicketStatus.COMMITTED
+
+    snapshot = service.snapshot()
+    print(
+        "committed snapshot: {} Person, {} Father tuples".format(
+            snapshot.count("Person"), snapshot.count("Father")
+        )
+    )
+    metrics = service.metrics_snapshot()
+    print(
+        "committed updates: {:.0f}, parks: {:.0f}, resumes: {:.0f}, "
+        "p50 frontier wait: {:.4f}s".format(
+            metrics["committed"],
+            metrics["parks"],
+            metrics["resumes"],
+            metrics["frontier_wait_p50_seconds"],
+        )
+    )
+    assert service.is_quiescent
+
+
+if __name__ == "__main__":
+    main()

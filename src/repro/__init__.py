@@ -26,6 +26,7 @@ from .core import (
     ChaseEngine,
     Constant,
     DatabaseSchema,
+    DeferredOracle,
     DeleteOperation,
     FrontierOracle,
     InsertOperation,
@@ -50,7 +51,7 @@ from .core import (
 )
 from .storage import MemoryDatabase
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlwaysExpandOracle",
@@ -60,6 +61,7 @@ __all__ = [
     "ChaseEngine",
     "Constant",
     "DatabaseSchema",
+    "DeferredOracle",
     "DeleteOperation",
     "FrontierOracle",
     "InsertOperation",

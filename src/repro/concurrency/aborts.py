@@ -106,6 +106,10 @@ class RunStatistics:
     read_queries: int = 0
     #: Frontier operations consumed (simulated human interventions).
     frontier_operations: int = 0
+    #: Updates parked in ``WAITING_FRONTIER`` by an asynchronous oracle.
+    frontier_parks: int = 0
+    #: Parked updates resumed with a posted frontier answer.
+    frontier_resumes: int = 0
     #: Work units spent by the dependency tracker.
     tracker_cost_units: int = 0
     #: Work units spent by direct-conflict checking (same for all algorithms).
@@ -147,6 +151,8 @@ class RunStatistics:
             "writes": self.writes,
             "read_queries": self.read_queries,
             "frontier_operations": self.frontier_operations,
+            "frontier_parks": self.frontier_parks,
+            "frontier_resumes": self.frontier_resumes,
             "tracker_cost_units": self.tracker_cost_units,
             "conflict_cost_units": self.conflict_cost_units,
             "chase_cost_units": self.chase_cost_units,

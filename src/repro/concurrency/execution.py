@@ -14,6 +14,15 @@ next step will perform, its violation queue, its firing state (via the shared
 Every read query performed along the way is reported to the scheduler through
 a recorder callback so it can be logged for conflict checking and dependency
 tracking.
+
+With an asynchronous oracle (:class:`~repro.core.oracle.DeferredOracle`) the
+consultation does not return an operation: the oracle raises
+:class:`~repro.core.oracle.FrontierPending` and the execution **parks** in
+``WAITING_FRONTIER``.  A parked execution takes no further steps — it is
+excluded from scheduling, so no busy-stepping — until
+:meth:`UpdateExecution.resume_with` supplies the human's answer, whereupon the
+next step turns that answer into writes exactly as the synchronous path would
+have.
 """
 
 from __future__ import annotations
@@ -21,8 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
-from ..core.frontier import writes_for_operation
-from ..core.oracle import FrontierOracle
+from ..core.frontier import FrontierOperation, writes_for_operation
+from ..core.oracle import FrontierOracle, FrontierPending, PendingDecision
 from ..core.planner import RepairPlanner
 from ..core.terms import NullFactory
 from ..core.tgd import Tgd
@@ -46,6 +55,10 @@ class StepResult:
     terminated: bool = False
     #: ``True`` when a frontier operation was consumed during this step.
     frontier_consumed: bool = False
+    #: ``True`` when the update parked in ``WAITING_FRONTIER`` during this step.
+    parked: bool = False
+    #: The pending decision the update parked on (set iff ``parked``).
+    decision: Optional[PendingDecision] = None
     #: Number of read queries performed during this step.
     read_queries: int = 0
     #: Work units spent evaluating read queries during this step.
@@ -79,6 +92,9 @@ class UpdateExecution:
         self._planner = RepairPlanner(self._mappings, null_factory)
         self._pending_writes: Optional[List[Write]] = None
         self._violation_queue: List[Violation] = []
+        #: The decision this execution is parked on (``None`` unless parked).
+        self.pending_decision: Optional[PendingDecision] = None
+        self._frontier_answer: Optional[FrontierOperation] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -98,6 +114,11 @@ class UpdateExecution:
         """``True`` while the update can still take steps."""
         return self.status in (UpdateStatus.PENDING, UpdateStatus.RUNNING)
 
+    @property
+    def is_parked(self) -> bool:
+        """``True`` while the update awaits an asynchronous frontier answer."""
+        return self.status is UpdateStatus.WAITING_FRONTIER
+
     def describe(self) -> str:
         """Short description for logs."""
         return "update #{} (attempt {}): {}".format(
@@ -110,6 +131,12 @@ class UpdateExecution:
     def run_step(self, recorder: Optional[ReadRecorderCallback] = None) -> StepResult:
         """Execute one chase step (Algorithm 2); returns what happened."""
         result = StepResult()
+        if self.is_parked:
+            # Parked executions are excluded from scheduling; this guard makes
+            # a stray call cheap and visibly a no-op (no busy-stepping).
+            result.parked = True
+            result.decision = self.pending_decision
+            return result
         if not self.is_active:
             result.terminated = self.is_terminated
             return result
@@ -121,6 +148,17 @@ class UpdateExecution:
             result.cost_units += query.evaluation_cost()
             if recorder is not None:
                 recorder(query, answer)
+
+        # ----- consume a posted frontier answer (resume after parking) -----
+        if self._frontier_answer is not None:
+            chosen = self._frontier_answer
+            self._frontier_answer = None
+            self.steps_taken += 1
+            self.frontier_operations += 1
+            result.frontier_consumed = True
+            self._pending_writes = writes_for_operation(chosen, view, record)
+            self._planner.note_frontier_operation(chosen)
+            return result
 
         # ----- perform the pending writes -----
         if self._pending_writes is None:
@@ -160,18 +198,62 @@ class UpdateExecution:
             # step will re-examine the queue.
             self._violation_queue = self._violation_queue[1:]
             return result
-        chosen = self._oracle.decide(request, view)
+        try:
+            chosen = self._oracle.decide(request, view)
+        except FrontierPending as pending:
+            # Asynchronous oracle: park until a client answers.  The planner's
+            # firing state is kept so the eventual answer resumes mid-repair.
+            self.status = UpdateStatus.WAITING_FRONTIER
+            self.pending_decision = pending.decision
+            result.parked = True
+            result.decision = pending.decision
+            return result
         self.frontier_operations += 1
         result.frontier_consumed = True
         self._pending_writes = writes_for_operation(chosen, view, record)
         self._planner.note_frontier_operation(chosen)
         return result
 
+    def resume_with(self, operation: FrontierOperation) -> None:
+        """Supply the answer to the decision this execution is parked on.
+
+        The execution becomes active again; its next step turns *operation*
+        into writes exactly as the synchronous oracle path would have.
+        """
+        if not self.is_parked:
+            raise RuntimeError(
+                "cannot resume {}: it is not parked (status {})".format(
+                    self.describe(), self.status.value
+                )
+            )
+        self._frontier_answer = operation
+        self.pending_decision = None
+        self.status = UpdateStatus.RUNNING
+
+    def mark_budget_exhausted(self) -> None:
+        """Terminal stamp for the scheduler's stall path.
+
+        A parked execution's open question is cancelled — it can never be
+        resumed within the exhausted budget, so late answers must be rejected
+        rather than silently consumed.
+        """
+        if self.pending_decision is not None:
+            self._oracle.cancel(self.pending_decision.decision_id)
+            self.pending_decision = None
+        self._frontier_answer = None
+        self.status = UpdateStatus.BUDGET_EXHAUSTED
+
     def abort(self) -> None:
         """Mark this execution aborted (the scheduler rolls back its writes)."""
+        if self.pending_decision is not None:
+            # A parked execution's question is now moot; cancel it so late
+            # answers are rejected instead of resuming a dead update.
+            self._oracle.cancel(self.pending_decision.decision_id)
         self.status = UpdateStatus.ABORTED
         self._pending_writes = None
         self._violation_queue = []
+        self.pending_decision = None
+        self._frontier_answer = None
         self._planner.reset()
 
     def restart_as(self, new_priority: int) -> "UpdateExecution":

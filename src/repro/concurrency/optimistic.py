@@ -12,8 +12,9 @@ restarted under a fresh, higher priority number.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
+from ..core.frontier import FrontierOperation
 from ..core.oracle import FrontierOracle, RandomOracle
 from ..core.terms import NullFactory
 from ..core.tgd import Tgd
@@ -47,6 +48,7 @@ class OptimisticScheduler:
         null_factory: Optional[NullFactory] = None,
         max_total_steps: int = 1_000_000,
         promote_restarts_to_precise: bool = False,
+        prune_committed: bool = False,
     ):
         self._store = store
         self._mappings = list(mappings)
@@ -58,11 +60,20 @@ class OptimisticScheduler:
         self._null_factory = null_factory
         self._max_total_steps = max_total_steps
         self._promote_restarts = promote_restarts_to_precise
+        #: Long-running callers (the service layer) drop committed executions
+        #: so per-pump scans stay proportional to the in-flight set, not to
+        #: everything ever served.  Batch callers keep them for inspection.
+        self._prune_committed = prune_committed
+        self._pruned_terminated = 0
 
         self._executions: Dict[int, UpdateExecution] = {}
         self._committed: Set[int] = set()
+        self._commit_watermark = 0
+        self._newly_committed: List[int] = []
         self._read_log = ReadLog()
         self._next_priority = 1
+        self._total_steps = 0
+        self._restart_listeners: List[Callable[[int, int], None]] = []
         self.statistics = RunStatistics(algorithm=tracker.name)
 
     # ------------------------------------------------------------------
@@ -93,10 +104,40 @@ class OptimisticScheduler:
     # Execution
     # ------------------------------------------------------------------
     def run(self) -> RunStatistics:
-        """Run every admitted update to termination; returns the statistics."""
+        """Run every admitted update to termination; returns the statistics.
+
+        This is the batch entry point: with a synchronous oracle every update
+        terminates (or the step budget trips).  With an asynchronous
+        :class:`~repro.core.oracle.DeferredOracle` updates may park on frontier
+        questions that batch mode can never answer, so leftover parked updates
+        raise :class:`SchedulerStalled` — long-running callers should drive
+        :meth:`pump` and :meth:`resume` instead (the service layer does).
+        """
         started = time.perf_counter()
-        total_steps = 0
         self._policy.reset()
+        self.pump()
+        parked = self.parked_executions()
+        if parked:
+            raise SchedulerStalled(
+                "{} update(s) parked on unanswered frontier decisions; "
+                "batch run() cannot finish — drive pump()/resume() instead".format(
+                    len(parked)
+                )
+            )
+        self.statistics.wall_seconds = time.perf_counter() - started
+        self.refresh_statistics()
+        return self.statistics
+
+    def pump(self, max_steps: Optional[int] = None) -> int:
+        """Take chase steps until nothing is runnable (or *max_steps* taken).
+
+        Returns the number of steps taken.  The scheduler is *drained* when
+        this returns less than *max_steps*: every remaining execution is
+        terminated or parked in ``WAITING_FRONTIER``, and progress requires
+        either a new :meth:`submit` or a :meth:`resume` with a frontier
+        answer.  Parked executions are never stepped (no busy-waiting).
+        """
+        taken = 0
         while True:
             ready = [
                 execution
@@ -107,21 +148,51 @@ class OptimisticScheduler:
                 break
             execution = self._policy.next_update(ready)
             while True:
-                if total_steps >= self._max_total_steps:
+                if max_steps is not None and taken >= max_steps:
+                    self._advance_commit_watermark()
+                    return taken
+                if self._total_steps >= self._max_total_steps:
+                    self._mark_budget_exhausted()
                     raise SchedulerStalled(
                         "scheduler exceeded {} total steps".format(self._max_total_steps)
                     )
-                total_steps += 1
+                self._total_steps += 1
+                taken += 1
                 result = self._run_one_step(execution)
                 if not self._policy.keep_running(execution, result):
                     break
             self._advance_commit_watermark()
-        self.statistics.wall_seconds = time.perf_counter() - started
+        return taken
+
+    def resume(self, priority: int, operation: FrontierOperation) -> None:
+        """Answer the frontier decision the update numbered *priority* parked on.
+
+        The update becomes runnable again; the next :meth:`pump` continues it
+        with the writes *operation* implies.
+        """
+        execution = self._executions.get(priority)
+        if execution is None:
+            raise KeyError("no execution with priority {}".format(priority))
+        execution.resume_with(operation)
+        self.statistics.frontier_resumes += 1
+
+    def refresh_statistics(self) -> RunStatistics:
+        """Fold current tracker/termination counters into the statistics."""
         self.statistics.tracker_cost_units = self._tracker.cost_units
-        self.statistics.updates_terminated = sum(
+        self.statistics.updates_terminated = self._pruned_terminated + sum(
             1 for execution in self._executions.values() if execution.is_terminated
         )
         return self.statistics
+
+    def _mark_budget_exhausted(self) -> None:
+        """Stall path: stamp unfinished updates with ``BUDGET_EXHAUSTED``.
+
+        Parked updates are included — no remaining budget could run their
+        resumption — and their open frontier questions get cancelled.
+        """
+        for execution in self._executions.values():
+            if execution.is_active or execution.is_parked:
+                execution.mark_budget_exhausted()
 
     def _run_one_step(self, execution: UpdateExecution) -> StepResult:
         reader = execution.priority
@@ -143,6 +214,8 @@ class OptimisticScheduler:
         self.statistics.chase_cost_units += result.cost_units
         if result.frontier_consumed:
             self.statistics.frontier_operations += 1
+        if result.parked:
+            self.statistics.frontier_parks += 1
         if result.applied:
             self._process_conflicts(result)
         return result
@@ -182,6 +255,8 @@ class OptimisticScheduler:
         self.statistics.updates_executed += 1
         if self._promote_restarts and isinstance(self._tracker, HybridTracker):
             self._tracker.promote(restart_priority)
+        for listener in self._restart_listeners:
+            listener(victim, restart_priority)
 
     def _abortable(self) -> Set[int]:
         return {
@@ -204,7 +279,14 @@ class OptimisticScheduler:
             if not execution.is_terminated:
                 break
             self._committed.add(priority)
+            self._commit_watermark = priority
+            self._newly_committed.append(priority)
             self._read_log.remove_reader(priority)
+            if self._prune_committed:
+                # Committed executions can never be touched again; dropping
+                # them keeps the per-pump ready/parked scans O(in-flight).
+                del self._executions[priority]
+                self._pruned_terminated += 1
 
     # ------------------------------------------------------------------
     # Results
@@ -216,6 +298,56 @@ class OptimisticScheduler:
     def executions(self) -> List[UpdateExecution]:
         """Every execution the scheduler currently tracks (terminated included)."""
         return [self._executions[priority] for priority in sorted(self._executions)]
+
+    def execution(self, priority: int) -> Optional[UpdateExecution]:
+        """The execution currently registered under *priority* (or ``None``)."""
+        return self._executions.get(priority)
+
+    def parked_executions(self) -> List[UpdateExecution]:
+        """Executions waiting in ``WAITING_FRONTIER``, lowest priority first."""
+        return [
+            self._executions[priority]
+            for priority in sorted(self._executions)
+            if self._executions[priority].is_parked
+        ]
+
+    @property
+    def is_idle(self) -> bool:
+        """``True`` when no execution can take a step without outside input."""
+        return not any(
+            execution.is_active for execution in self._executions.values()
+        )
+
+    def add_restart_listener(self, listener: Callable[[int, int], None]) -> None:
+        """Register ``listener(old_priority, new_priority)`` for abort-restarts."""
+        self._restart_listeners.append(listener)
+
+    def committed_priorities(self) -> Set[int]:
+        """The priorities that have committed so far."""
+        return set(self._committed)
+
+    def drain_newly_committed(self) -> List[int]:
+        """Priorities committed since the last drain (in commit order).
+
+        Long-running callers use this instead of re-scanning
+        :meth:`committed_priorities`, whose size grows with service lifetime.
+        """
+        drained = self._newly_committed
+        self._newly_committed = []
+        return drained
+
+    def commit_watermark(self) -> int:
+        """The highest committed priority (0 before anything commits).
+
+        Commits advance from the lowest priority upward, so every priority at
+        or below the watermark is committed (or was rolled back entirely) and
+        ``view_for(watermark)`` is a consistent committed snapshot.
+        """
+        return self._commit_watermark
+
+    def committed_view(self) -> DatabaseView:
+        """A snapshot containing exactly the committed state (plus the seed)."""
+        return self._store.view_for(self.commit_watermark())
 
     @property
     def read_log(self) -> ReadLog:

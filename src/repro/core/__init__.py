@@ -16,8 +16,12 @@ from .oracle import (
     AlwaysUnifyOracle,
     CallbackOracle,
     CountingOracle,
+    DeferredOracle,
     FrontierOracle,
+    FrontierPending,
     InteractiveOracle,
+    OracleError,
+    PendingDecision,
     RandomOracle,
     ScriptedOracle,
 )
@@ -77,7 +81,11 @@ __all__ = [
     "AlwaysUnifyOracle",
     "CallbackOracle",
     "CountingOracle",
+    "DeferredOracle",
+    "FrontierPending",
     "InteractiveOracle",
+    "OracleError",
+    "PendingDecision",
     "delete",
     "find_all_violations",
     "insert",

@@ -164,7 +164,7 @@ class ChaseEngine:
     # ------------------------------------------------------------------
     def _budget_exhausted(self, record: UpdateRecord) -> UpdateRecord:
         record.terminated = False
-        record.status = UpdateStatus.RUNNING
+        record.status = UpdateStatus.BUDGET_EXHAUSTED
         if self._config.raise_on_budget:
             raise ChaseBudgetExceeded(
                 "chase exceeded its budget: {}".format(record.summary())

@@ -114,6 +114,9 @@ class UpdateStatus(enum.Enum):
     WAITING_FRONTIER = "waiting-frontier"
     TERMINATED = "terminated"
     ABORTED = "aborted"
+    #: The chase was stopped by a step or frontier budget, not by completing
+    #: its work — updates may legitimately be non-terminating in Youtopia.
+    BUDGET_EXHAUSTED = "budget-exhausted"
 
 
 @dataclass

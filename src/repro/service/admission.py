@@ -1,0 +1,83 @@
+"""Admission control: bounding the number of concurrently running updates.
+
+The optimistic scheduler aborts more the more updates run at once (its abort
+rate grows with the number of in-flight read logs a write can invalidate), so
+the service does not hand every submission to the scheduler immediately.
+Submissions wait in a FIFO :class:`AdmissionQueue` and are admitted in batches
+of :attr:`AdmissionConfig.batch_size`, keeping at most
+:attr:`AdmissionConfig.max_in_flight` updates executing concurrently.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from .tickets import UpdateTicket
+
+
+class AdmissionError(RuntimeError):
+    """Raised when a submission cannot be accepted (queue overflow)."""
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tunables of the admission controller."""
+
+    #: Maximum number of updates executing in the scheduler at once
+    #: (running or parked; parked updates still hold read logs).
+    max_in_flight: int = 8
+    #: Maximum number of admissions per service pump.
+    batch_size: int = 4
+    #: Maximum admission-queue depth; ``None`` means unbounded.
+    max_queue_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.max_queue_depth is not None and self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth cannot be negative")
+
+
+class AdmissionQueue:
+    """FIFO queue of tickets awaiting admission to the scheduler."""
+
+    def __init__(self, config: Optional[AdmissionConfig] = None):
+        self.config = config if config is not None else AdmissionConfig()
+        self._queue: Deque[UpdateTicket] = deque()
+
+    @property
+    def depth(self) -> int:
+        """Number of tickets waiting for admission."""
+        return len(self._queue)
+
+    def enqueue(self, ticket: UpdateTicket) -> None:
+        """Append *ticket*; raises :class:`AdmissionError` on overflow."""
+        limit = self.config.max_queue_depth
+        if limit is not None and len(self._queue) >= limit:
+            raise AdmissionError(
+                "admission queue is full ({} waiting)".format(len(self._queue))
+            )
+        self._queue.append(ticket)
+
+    def take(self, in_flight: int) -> List[UpdateTicket]:
+        """Tickets to admit now, given *in_flight* updates already executing.
+
+        Takes at most ``batch_size`` tickets and never lets the total exceed
+        ``max_in_flight``.
+        """
+        slots = min(
+            self.config.batch_size, self.config.max_in_flight - in_flight
+        )
+        admitted: List[UpdateTicket] = []
+        while slots > 0 and self._queue:
+            admitted.append(self._queue.popleft())
+            slots -= 1
+        return admitted
+
+    def peek_all(self) -> List[UpdateTicket]:
+        """The queued tickets, oldest first (for inspection)."""
+        return list(self._queue)

@@ -1,0 +1,104 @@
+"""The frontier inbox: asynchronous human questions, service-side.
+
+When an update hits a nondeterministic repair under the service's
+:class:`~repro.core.oracle.DeferredOracle`, the execution parks and the
+decision lands here as an :class:`InboxQuestion`.  Clients list open
+questions, inspect the alternatives, and answer at their own pace; the first
+valid answer wins and resumes the parked update.  Questions whose update was
+aborted in the meantime are cancelled — a late answer gets an
+:class:`~repro.core.oracle.OracleError` instead of resuming a dead update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple as PyTuple, Union
+
+from ..core.frontier import FrontierOperation, FrontierRequest
+from ..core.oracle import DeferredOracle, OracleError, PendingDecision
+from .tickets import UpdateTicket
+
+
+@dataclass
+class InboxQuestion:
+    """One open frontier question, routed to whichever client answers first."""
+
+    decision_id: int
+    ticket: UpdateTicket
+    request: FrontierRequest
+    #: Service-clock reading when the question entered the inbox.
+    asked_at: float
+
+    def alternatives(self) -> List[FrontierOperation]:
+        """The legal answers, indexable by clients."""
+        return self.request.alternatives()
+
+    def describe(self) -> str:
+        """One-line description for logs and the CLI."""
+        return "question #{} for {} ({} alternatives)".format(
+            self.decision_id, self.ticket.describe(), len(self.alternatives())
+        )
+
+
+class FrontierInbox:
+    """Service-side registry of open frontier questions."""
+
+    def __init__(self, oracle: DeferredOracle):
+        self._oracle = oracle
+        self._questions: Dict[int, InboxQuestion] = {}
+
+    def register(
+        self, decision: PendingDecision, ticket: UpdateTicket, now: float
+    ) -> InboxQuestion:
+        """File the question a just-parked update asked."""
+        question = InboxQuestion(
+            decision_id=decision.decision_id,
+            ticket=ticket,
+            request=decision.request,
+            asked_at=now,
+        )
+        self._questions[decision.decision_id] = question
+        return question
+
+    def questions(self) -> List[InboxQuestion]:
+        """Every open question, oldest first."""
+        return [
+            self._questions[decision_id] for decision_id in sorted(self._questions)
+        ]
+
+    def question(self, decision_id: int) -> InboxQuestion:
+        """Look an open question up; unknown ids are an :class:`OracleError`."""
+        try:
+            return self._questions[decision_id]
+        except KeyError:
+            raise OracleError(
+                "no open inbox question #{} (answered, cancelled or never asked)".format(
+                    decision_id
+                )
+            )
+
+    def answer(
+        self, decision_id: int, choice: Union[FrontierOperation, int]
+    ) -> PyTuple[InboxQuestion, FrontierOperation]:
+        """Answer a question; returns it with the resolved operation.
+
+        Duplicate answers and answers to cancelled questions raise
+        :class:`OracleError` (the underlying decision enforces at-most-once).
+        """
+        question = self.question(decision_id)
+        decision = self._oracle.post(decision_id, choice)
+        del self._questions[decision_id]
+        assert decision.answer is not None
+        return question, decision.answer
+
+    def cancel(self, decision_id: Optional[int]) -> None:
+        """Withdraw a question whose update aborted (idempotent)."""
+        if decision_id is None:
+            return
+        self._questions.pop(decision_id, None)
+        self._oracle.cancel(decision_id)
+
+    @property
+    def open_count(self) -> int:
+        """Number of questions currently awaiting an answer."""
+        return len(self._questions)

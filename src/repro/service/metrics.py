@@ -1,0 +1,132 @@
+"""Service-level metrics: throughput, abort rate, frontier-wait percentiles.
+
+The scheduler's :class:`~repro.concurrency.aborts.RunStatistics` counts chase
+work; this module layers the serving view on top: committed updates per
+second, queue and frontier wait distributions, and per-session attribution.
+``snapshot()`` merges both so one dictionary feeds dashboards, benchmarks and
+the CLI.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+from ..concurrency.aborts import RunStatistics
+
+#: Number of most-recent latency samples kept per distribution.  Bounding the
+#: windows keeps a long-running service's memory flat and each snapshot's
+#: percentile sort O(window log window) instead of O(lifetime).
+WAIT_SAMPLE_WINDOW = 4096
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (0.0 for an empty sequence)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if fraction <= 0:
+        return ordered[0]
+    if fraction >= 1:
+        return ordered[-1]
+    rank = max(0, min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class ServiceMetrics:
+    """Live aggregator of everything the service observes."""
+
+    started_at: float
+    submitted: int = 0
+    admitted: int = 0
+    committed: int = 0
+    failed: int = 0
+    parks: int = 0
+    resumes: int = 0
+    restarts: int = 0
+    #: Wall-clock frontier waits of recently resumed parks, in seconds.
+    frontier_waits: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=WAIT_SAMPLE_WINDOW)
+    )
+    #: Submission-to-admission waits of recently admitted tickets, in seconds.
+    queue_waits: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=WAIT_SAMPLE_WINDOW)
+    )
+    #: Submission-to-commit turnaround of recently committed tickets, in seconds.
+    turnarounds: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=WAIT_SAMPLE_WINDOW)
+    )
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_submit(self) -> None:
+        self.submitted += 1
+
+    def record_admit(self, queue_wait: float) -> None:
+        self.admitted += 1
+        self.queue_waits.append(queue_wait)
+
+    def record_park(self) -> None:
+        self.parks += 1
+
+    def record_resume(self, wait_seconds: float) -> None:
+        self.resumes += 1
+        self.frontier_waits.append(wait_seconds)
+
+    def record_restart(self) -> None:
+        self.restarts += 1
+
+    def record_commit(self, turnaround: float) -> None:
+        self.committed += 1
+        self.turnarounds.append(turnaround)
+
+    def record_failure(self) -> None:
+        self.failed += 1
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def throughput(self, now: float) -> float:
+        """Committed updates per wall-clock second since the service started."""
+        elapsed = now - self.started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.committed / elapsed
+
+    def abort_rate(self, statistics: RunStatistics) -> float:
+        """Aborts per update execution (restarts included in the denominator)."""
+        executed = max(1, statistics.updates_executed)
+        return statistics.aborts / executed
+
+    def frontier_wait_p50(self) -> float:
+        """Median frontier wait, seconds (0.0 when nothing parked yet)."""
+        return percentile(self.frontier_waits, 0.5)
+
+    def frontier_wait_p95(self) -> float:
+        """95th-percentile frontier wait, seconds."""
+        return percentile(self.frontier_waits, 0.95)
+
+    def snapshot(self, statistics: RunStatistics, now: float) -> Dict[str, float]:
+        """One flat dictionary merging service and scheduler counters."""
+        data = {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "committed": self.committed,
+            "failed": self.failed,
+            "parks": self.parks,
+            "resumes": self.resumes,
+            "restarts": self.restarts,
+            "elapsed_seconds": now - self.started_at,
+            "throughput_per_second": self.throughput(now),
+            "abort_rate": self.abort_rate(statistics),
+            "frontier_wait_p50_seconds": self.frontier_wait_p50(),
+            "frontier_wait_p95_seconds": self.frontier_wait_p95(),
+            "queue_wait_p50_seconds": percentile(self.queue_waits, 0.5),
+            "turnaround_p50_seconds": percentile(self.turnarounds, 0.5),
+        }
+        for key, value in statistics.as_dict().items():
+            data["scheduler_" + key] = value
+        return data

@@ -1,0 +1,367 @@
+"""The update-exchange service: sessions, admission, inbox, snapshot reads.
+
+This is the long-running serving layer over the optimistic scheduler
+(Algorithm 4).  Where the batch drivers submit a pre-assembled workload and
+simulate humans with a synchronous oracle, the :class:`RepositoryService`
+models the collaborative system the paper describes: clients open sessions,
+submit updates at their own pace, and answer frontier questions at human
+timescales while the scheduler keeps interleaving everyone else's chase steps.
+
+The service is cooperatively scheduled and single-threaded, like the rest of
+this reproduction: callers drive it by calling :meth:`RepositoryService.pump`,
+which admits queued submissions (subject to admission control), lets the
+scheduler take chase steps until every in-flight update is terminated or
+parked, and reconciles ticket states.  Nothing ever busy-waits: a parked
+update consumes no steps until a client answers its question.
+
+Reads are served from the multiversion store without blocking writers:
+:meth:`RepositoryService.read` snapshots the committed watermark (every
+priority at or below it is committed, aborted writes are rolled back), so
+clients never observe in-flight chase work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
+
+from ..concurrency.aborts import RunStatistics
+from ..concurrency.dependencies import DependencyTracker, make_tracker
+from ..concurrency.optimistic import OptimisticScheduler, SchedulerStalled
+from ..concurrency.policies import SchedulingPolicy
+from ..core.frontier import FrontierOperation
+from ..core.oracle import DeferredOracle
+from ..core.terms import NullFactory
+from ..core.tgd import Tgd
+from ..core.tuples import Tuple
+from ..core.update import UpdateStatus, UserOperation
+from ..storage.interface import DatabaseView
+from ..storage.memory import FrozenDatabase
+from ..storage.versioned import VersionedDatabase
+from .admission import AdmissionConfig, AdmissionQueue
+from .inbox import FrontierInbox, InboxQuestion
+from .metrics import ServiceMetrics
+from .session import ClientSession, SessionError
+from .tickets import TicketStatus, UpdateTicket
+
+
+class ServiceError(RuntimeError):
+    """Raised for invalid service requests (unknown tickets, bad answers...)."""
+
+
+@dataclass
+class PumpReport:
+    """What one service pump did (returned by :meth:`RepositoryService.pump`)."""
+
+    #: Tickets admitted from the queue into the scheduler.
+    admitted: List[UpdateTicket] = field(default_factory=list)
+    #: Chase steps the scheduler took.
+    steps: int = 0
+    #: Tickets that reached ``COMMITTED`` during this pump.
+    committed: List[UpdateTicket] = field(default_factory=list)
+    #: Questions that entered the inbox during this pump.
+    parked: List[InboxQuestion] = field(default_factory=list)
+
+
+class RepositoryService:
+    """A multi-client update-exchange service over one Youtopia repository."""
+
+    def __init__(
+        self,
+        initial: DatabaseView,
+        mappings: Sequence[Tgd],
+        tracker: Union[DependencyTracker, str] = "PRECISE",
+        policy: Optional[SchedulingPolicy] = None,
+        admission: Optional[AdmissionConfig] = None,
+        max_total_steps: int = 1_000_000,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if isinstance(tracker, str):
+            tracker = make_tracker(tracker)
+        self._clock = clock
+        store = VersionedDatabase(initial.schema)
+        store.load_initial(initial)
+        self._oracle = DeferredOracle()
+        self._scheduler = OptimisticScheduler(
+            store=store,
+            mappings=mappings,
+            tracker=tracker,
+            oracle=self._oracle,
+            policy=policy,
+            null_factory=NullFactory.avoiding_view(initial, prefix="s"),
+            max_total_steps=max_total_steps,
+            prune_committed=True,
+        )
+        self._scheduler.add_restart_listener(self._on_restart)
+        self._queue = AdmissionQueue(admission)
+        self._inbox = FrontierInbox(self._oracle)
+        self.metrics = ServiceMetrics(started_at=self._clock())
+        self._sessions: Dict[int, ClientSession] = {}
+        self._tickets: Dict[int, UpdateTicket] = {}
+        self._by_priority: Dict[int, UpdateTicket] = {}
+        #: Ticket ids admitted and not yet committed/failed (they hold
+        #: admission slots); kept as a set so pump cost does not grow with
+        #: the total number of tickets ever served.
+        self._in_flight: Set[int] = set()
+        self._next_session_id = 1
+        self._next_ticket_id = 1
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def open_session(self, name: str) -> ClientSession:
+        """Connect a client; returns its session handle."""
+        session = ClientSession(
+            session_id=self._next_session_id, name=name, opened_at=self._clock()
+        )
+        self._next_session_id += 1
+        self._sessions[session.session_id] = session
+        return session
+
+    def session(self, session_id: int) -> ClientSession:
+        """Look a session up; unknown or closed sessions are a :class:`SessionError`."""
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError("unknown session #{}".format(session_id))
+        if session.closed:
+            raise SessionError("session #{} is closed".format(session_id))
+        return session
+
+    def close_session(self, session_id: int) -> ClientSession:
+        """Disconnect a client; its in-flight tickets keep running to commit."""
+        session = self.session(session_id)
+        session.closed = True
+        return session
+
+    def sessions(self) -> List[ClientSession]:
+        """Every session ever opened, in id order."""
+        return [self._sessions[sid] for sid in sorted(self._sessions)]
+
+    # ------------------------------------------------------------------
+    # Submission and admission
+    # ------------------------------------------------------------------
+    def submit(self, session_id: int, operation: UserOperation) -> UpdateTicket:
+        """Accept an update from a client; it waits for admission in FIFO order."""
+        session = self.session(session_id)
+        ticket = UpdateTicket(
+            ticket_id=self._next_ticket_id,
+            session_id=session_id,
+            operation=operation,
+            submitted_at=self._clock(),
+        )
+        self._next_ticket_id += 1
+        self._queue.enqueue(ticket)  # may raise AdmissionError; ticket discarded
+        self._tickets[ticket.ticket_id] = ticket
+        session.tickets.append(ticket)
+        self.metrics.record_submit()
+        return ticket
+
+    def ticket(self, ticket_id: int) -> UpdateTicket:
+        """Look a ticket up by id."""
+        try:
+            return self._tickets[ticket_id]
+        except KeyError:
+            raise ServiceError("unknown ticket #{}".format(ticket_id))
+
+    def _in_flight_count(self) -> int:
+        return len(self._in_flight)
+
+    def _admit(self, ticket: UpdateTicket) -> None:
+        now = self._clock()
+        priority = self._scheduler.submit(ticket.operation)
+        ticket.priority = priority
+        ticket.status = TicketStatus.RUNNING
+        ticket.admitted_at = now
+        ticket.attempts = 1
+        self._by_priority[priority] = ticket
+        self._in_flight.add(ticket.ticket_id)
+        self.metrics.record_admit(now - ticket.submitted_at)
+
+    # ------------------------------------------------------------------
+    # The serving loop
+    # ------------------------------------------------------------------
+    def pump(self, max_steps: Optional[int] = None) -> PumpReport:
+        """Admit, step, reconcile: one turn of the service's cooperative loop.
+
+        If the scheduler exhausts its lifetime step budget mid-pump, the
+        affected tickets are marked ``FAILED`` (freeing their admission
+        slots), everything that did commit is still reconciled, and the
+        :class:`~repro.concurrency.optimistic.SchedulerStalled` is re-raised
+        for the operator.
+        """
+        report = PumpReport()
+        for ticket in self._queue.take(self._in_flight_count()):
+            self._admit(ticket)
+            report.admitted.append(ticket)
+        try:
+            report.steps = self._scheduler.pump(max_steps)
+        except SchedulerStalled:
+            self._reconcile(report)
+            self._fail_budget_exhausted()
+            raise
+        self._reconcile(report)
+        return report
+
+    def _fail_budget_exhausted(self) -> None:
+        for execution in self._scheduler.executions():
+            if execution.status is not UpdateStatus.BUDGET_EXHAUSTED:
+                continue
+            ticket = self._by_priority.pop(execution.priority, None)
+            if ticket is None or ticket.is_done:
+                continue
+            if ticket.decision_id is not None:
+                # The stall cancelled the underlying decision; withdraw the
+                # inbox question too so operators don't see answerable ghosts.
+                self._inbox.cancel(ticket.decision_id)
+                ticket.decision_id = None
+                ticket.parked_at = None
+            ticket.status = TicketStatus.FAILED
+            self._in_flight.discard(ticket.ticket_id)
+            self.metrics.record_failure()
+
+    def run_until_blocked(self, max_pumps: int = 10_000) -> List[PumpReport]:
+        """Pump until the service needs outside input (answers or submissions).
+
+        Returns the reports of every pump performed.  On return, either all
+        work is done or every remaining in-flight update is parked on an open
+        inbox question.
+        """
+        reports: List[PumpReport] = []
+        for _ in range(max_pumps):
+            report = self.pump()
+            reports.append(report)
+            if self._queue.depth == 0 and self._scheduler.is_idle:
+                break
+            if not report.steps and not report.admitted:
+                # No progress possible: every admission slot is held by a
+                # parked update and only an answer can free one.
+                break
+        return reports
+
+    def _reconcile(self, report: PumpReport) -> None:
+        now = self._clock()
+        for priority in self._scheduler.drain_newly_committed():
+            ticket = self._by_priority.pop(priority, None)
+            if ticket is None:
+                continue
+            ticket.status = TicketStatus.COMMITTED
+            ticket.committed_at = now
+            self._in_flight.discard(ticket.ticket_id)
+            self.metrics.record_commit(now - ticket.submitted_at)
+            report.committed.append(ticket)
+        for execution in self._scheduler.parked_executions():
+            ticket = self._by_priority.get(execution.priority)
+            if ticket is None or execution.pending_decision is None:
+                continue
+            decision = execution.pending_decision
+            if ticket.decision_id == decision.decision_id:
+                continue  # already filed in a previous pump
+            ticket.status = TicketStatus.WAITING_FRONTIER
+            ticket.decision_id = decision.decision_id
+            ticket.parked_at = now
+            ticket.parks += 1
+            self.metrics.record_park()
+            report.parked.append(self._inbox.register(decision, ticket, now))
+
+    def _on_restart(self, old_priority: int, new_priority: int) -> None:
+        """Scheduler callback: an abort moved a ticket to a fresh priority."""
+        ticket = self._by_priority.pop(old_priority, None)
+        if ticket is None:
+            return
+        if ticket.decision_id is not None:
+            # The parked question died with the aborted execution; reject
+            # late answers rather than resuming a rolled-back update.
+            self._inbox.cancel(ticket.decision_id)
+            ticket.decision_id = None
+            ticket.parked_at = None
+        ticket.priority = new_priority
+        ticket.status = TicketStatus.RUNNING
+        ticket.attempts += 1
+        self._by_priority[new_priority] = ticket
+        self.metrics.record_restart()
+
+    # ------------------------------------------------------------------
+    # The frontier inbox
+    # ------------------------------------------------------------------
+    def inbox(self) -> List[InboxQuestion]:
+        """Every open frontier question, oldest first."""
+        return self._inbox.questions()
+
+    def answer(
+        self,
+        session_id: int,
+        decision_id: int,
+        choice: Union[FrontierOperation, int],
+    ) -> InboxQuestion:
+        """A client answers an open question; the parked update resumes.
+
+        Any session may answer any question (collaboration!); the first valid
+        answer wins and later ones raise :class:`~repro.core.oracle.OracleError`.
+        The resumed update continues on the next :meth:`pump`.
+        """
+        session = self.session(session_id)
+        question, operation = self._inbox.answer(decision_id, choice)
+        ticket = question.ticket
+        assert ticket.priority is not None
+        self._scheduler.resume(ticket.priority, operation)
+        now = self._clock()
+        if ticket.parked_at is not None:
+            wait = now - ticket.parked_at
+            ticket.frontier_wait_seconds += wait
+            self.metrics.record_resume(wait)
+        ticket.status = TicketStatus.RUNNING
+        ticket.decision_id = None
+        ticket.parked_at = None
+        session.frontier_answers += 1
+        return question
+
+    # ------------------------------------------------------------------
+    # Snapshot reads (never block writers)
+    # ------------------------------------------------------------------
+    def read(self, relation: str) -> List[Tuple]:
+        """The committed tuples of *relation* (in-flight work is invisible)."""
+        return list(self._scheduler.committed_view().tuples(relation))
+
+    def count(self, relation: str) -> int:
+        """Number of committed tuples in *relation*."""
+        return self._scheduler.committed_view().count(relation)
+
+    def snapshot(self) -> FrozenDatabase:
+        """An immutable snapshot of the committed repository state."""
+        return self._scheduler.store.materialize(self._scheduler.commit_watermark())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def scheduler(self) -> OptimisticScheduler:
+        """The underlying optimistic scheduler (tests and benchmarks poke it)."""
+        return self._scheduler
+
+    @property
+    def queue_depth(self) -> int:
+        """Submissions still waiting for admission."""
+        return self._queue.depth
+
+    @property
+    def statistics(self) -> RunStatistics:
+        """The scheduler's run statistics, refreshed."""
+        return self._scheduler.refresh_statistics()
+
+    def tickets(self) -> List[UpdateTicket]:
+        """Every ticket ever submitted, in id order."""
+        return [self._tickets[ticket_id] for ticket_id in sorted(self._tickets)]
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Flat service+scheduler metrics dictionary."""
+        return self.metrics.snapshot(self.statistics, self._clock())
+
+    @property
+    def is_quiescent(self) -> bool:
+        """``True`` when nothing is queued, running, or parked."""
+        return (
+            self._queue.depth == 0
+            and self._scheduler.is_idle
+            and self._inbox.open_count == 0
+        )

@@ -1,0 +1,54 @@
+"""Client sessions of the update-exchange service.
+
+Youtopia is collaborative: many users submit updates and answer frontier
+questions concurrently.  A :class:`ClientSession` is the service's handle for
+one such user — it owns the tickets the user submitted and counts the frontier
+answers the user contributed (the paper's measure of human attention, here
+attributed per client).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .tickets import TicketStatus, UpdateTicket
+
+
+class SessionError(RuntimeError):
+    """Raised for operations on unknown or closed sessions."""
+
+
+@dataclass
+class ClientSession:
+    """One connected client of the :class:`~repro.service.repository.RepositoryService`."""
+
+    session_id: int
+    name: str
+    opened_at: float
+    closed: bool = False
+    #: Tickets this session submitted, in submission order.
+    tickets: List[UpdateTicket] = field(default_factory=list)
+    #: Frontier questions this session answered (for any ticket, not just its own).
+    frontier_answers: int = 0
+
+    @property
+    def submitted(self) -> int:
+        """Number of updates this session has submitted."""
+        return len(self.tickets)
+
+    @property
+    def committed(self) -> int:
+        """Number of this session's updates that have committed."""
+        return sum(1 for ticket in self.tickets if ticket.status is TicketStatus.COMMITTED)
+
+    @property
+    def in_flight(self) -> int:
+        """Number of this session's updates not yet committed or failed."""
+        return sum(1 for ticket in self.tickets if not ticket.is_done)
+
+    def describe(self) -> str:
+        """One-line description for logs and the CLI."""
+        return "session #{} ({}): {} submitted, {} committed, {} answers".format(
+            self.session_id, self.name, self.submitted, self.committed, self.frontier_answers
+        )

@@ -1,0 +1,84 @@
+"""Update tickets: the service-side lifecycle of one submitted operation.
+
+A ticket is created the moment a client submits a :class:`~repro.core.update.UserOperation`
+and survives admission, execution, abort-restarts (the scheduler assigns a new
+priority; the ticket keeps its identity), parking on frontier questions, and
+finally commit.  Tickets are what clients poll and what the service metrics
+aggregate over.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.update import UserOperation
+
+
+class TicketStatus(enum.Enum):
+    """Where a submitted update currently is in the service pipeline."""
+
+    #: In the admission queue, not yet handed to the scheduler.
+    QUEUED = "queued"
+    #: Admitted: the scheduler is interleaving its chase steps.
+    RUNNING = "running"
+    #: Parked on an unanswered frontier question in the inbox.
+    WAITING_FRONTIER = "waiting-frontier"
+    #: Terminated and durable: no lower-priority update can abort it anymore.
+    COMMITTED = "committed"
+    #: Stopped by a budget without completing (kept for post-mortems).
+    FAILED = "failed"
+
+
+@dataclass
+class UpdateTicket:
+    """One submitted operation, tracked across restarts and frontier waits."""
+
+    ticket_id: int
+    session_id: int
+    operation: UserOperation
+    status: TicketStatus = TicketStatus.QUEUED
+    #: Current scheduler priority (changes on abort-restart; ``None`` while queued).
+    priority: Optional[int] = None
+    #: Number of executions started for this ticket (1 + restarts).
+    attempts: int = 0
+    #: Frontier decision id the ticket is parked on (``None`` unless parked).
+    decision_id: Optional[int] = None
+    #: Times the ticket parked on a frontier question.
+    parks: int = 0
+    #: Clock readings (service clock; ``None`` until the event happened).
+    submitted_at: float = 0.0
+    admitted_at: Optional[float] = None
+    committed_at: Optional[float] = None
+    parked_at: Optional[float] = None
+    #: Total time spent parked, accumulated over every park/resume cycle.
+    frontier_wait_seconds: float = 0.0
+
+    @property
+    def is_done(self) -> bool:
+        """``True`` once the ticket reached a terminal status."""
+        return self.status in (TicketStatus.COMMITTED, TicketStatus.FAILED)
+
+    @property
+    def is_parked(self) -> bool:
+        """``True`` while the ticket waits on a frontier answer."""
+        return self.status is TicketStatus.WAITING_FRONTIER
+
+    def queue_wait_seconds(self) -> Optional[float]:
+        """Time from submission to admission (``None`` while still queued)."""
+        if self.admitted_at is None:
+            return None
+        return self.admitted_at - self.submitted_at
+
+    def turnaround_seconds(self) -> Optional[float]:
+        """Time from submission to commit (``None`` until committed)."""
+        if self.committed_at is None:
+            return None
+        return self.committed_at - self.submitted_at
+
+    def describe(self) -> str:
+        """One-line description for logs and the CLI."""
+        return "ticket #{} [{}] session {}: {}".format(
+            self.ticket_id, self.status.value, self.session_id, self.operation.describe()
+        )

@@ -78,6 +78,33 @@ class MemoryDatabase(MutableDatabase):
     def tuples_containing_null(self, null: LabeledNull) -> Iterator[Tuple]:
         return iter(tuple(self._index.with_null(null)))
 
+    def more_specific_tuples(self, row: Tuple) -> List[Tuple]:
+        # The chase issues this correction query on every generated tuple, so
+        # it must not scan the relation.  Any more-specific tuple agrees with
+        # ``row`` on its constant positions (Definition 2.4: the witnessing
+        # map is the identity on constants), so intersecting the position
+        # index's buckets over those positions narrows the candidates to the
+        # few tuples sharing all constants; only those are checked in full.
+        candidates = None
+        for position, value in enumerate(row.values):
+            if isinstance(value, LabeledNull):
+                continue
+            bucket = self._index.lookup(row.relation, position, value)
+            if candidates is None:
+                candidates = set(bucket)
+            else:
+                candidates &= bucket
+            if not candidates:
+                return []
+        if candidates is None:
+            # All-null pattern: every tuple of the relation is a candidate.
+            candidates = self._relations.get(row.relation, set())
+        return [
+            candidate
+            for candidate in candidates
+            if candidate.is_more_specific_than(row)
+        ]
+
     def count(self, relation: str) -> int:
         return len(self._relations.get(relation, set()))
 

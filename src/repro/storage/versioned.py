@@ -18,8 +18,9 @@ Versions are numbered by a single global sequence, which realizes the paper's
 from __future__ import annotations
 
 import itertools
+from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple as PyTuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple as PyTuple
 
 from ..core.schema import DatabaseSchema, SchemaError
 from ..core.terms import DataTerm, LabeledNull
@@ -93,6 +94,14 @@ class VersionedDatabase:
         self._tid_counter = itertools.count(1)
         self._seq_counter = itertools.count(1)
         self._write_log: List[VersionedWrite] = []
+        # Indexes over *every version's* content, keyed to tuple identities.
+        # They over-approximate (a tid stays indexed under contents of old
+        # versions and may outlive a rollback), so views re-check the visible
+        # content — but they turn the chase-hot correction queries from
+        # relation scans into bucket intersections, mirroring PositionIndex
+        # on the single-version store.
+        self._value_index: Dict[PyTuple[str, int, DataTerm], Set[int]] = defaultdict(set)
+        self._null_index: Dict[LabeledNull, Set[int]] = defaultdict(set)
 
     # ------------------------------------------------------------------
     # Loading and basic accessors
@@ -167,6 +176,12 @@ class VersionedDatabase:
     def _next_seq(self) -> int:
         return next(self._seq_counter)
 
+    def _index_content(self, tid: int, row: Tuple) -> None:
+        for position, value in enumerate(row.values):
+            self._value_index[(row.relation, position, value)].add(tid)
+        for null in row.null_set():
+            self._null_index[null].add(tid)
+
     def _new_tuple(
         self, row: Tuple, priority: int, log_write: Optional[Write]
     ) -> VersionedWrite:
@@ -177,6 +192,7 @@ class VersionedDatabase:
         record.versions.append(Version(seq=seq, priority=priority, content=row))
         self._tuples[tid] = record
         self._by_relation[row.relation].add(tid)
+        self._index_content(tid, row)
         logged = VersionedWrite(
             seq=seq, priority=priority, tid=tid, write=log_write or Write(WriteKind.INSERT, row)
         )
@@ -217,6 +233,7 @@ class VersionedDatabase:
         self._tuples[tid].versions.append(
             Version(seq=seq, priority=priority, content=write.row)
         )
+        self._index_content(tid, write.row)
         logged = VersionedWrite(seq=seq, priority=priority, tid=tid, write=write)
         self._write_log.append(logged)
         return logged
@@ -235,13 +252,42 @@ class VersionedDatabase:
             entry for entry in self._write_log if entry.priority != priority
         ]
         for tid, record in list(self._tuples.items()):
+            rolled_back = [
+                version for version in record.versions if version.priority == priority
+            ]
+            if not rolled_back:
+                continue
             record.versions = [
                 version for version in record.versions if version.priority != priority
             ]
             if not record.versions:
+                # The identity disappears entirely: purge its index entries so
+                # an abort-heavy service does not grow dead tids in the
+                # chase-hot buckets.  (Partially rolled-back tids keep their
+                # over-approximate entries; views re-check visibility anyway.)
                 del self._tuples[tid]
                 self._by_relation[record.relation].discard(tid)
+                self._unindex_tid(tid, rolled_back)
         return list(reversed(removed))
+
+    def _unindex_tid(self, tid: int, versions: Iterable[Version]) -> None:
+        for version in versions:
+            row = version.content
+            if row is None:
+                continue
+            for position, value in enumerate(row.values):
+                key = (row.relation, position, value)
+                bucket = self._value_index.get(key)
+                if bucket is not None:
+                    bucket.discard(tid)
+                    if not bucket:
+                        del self._value_index[key]
+            for null in row.null_set():
+                bucket = self._null_index.get(null)
+                if bucket is not None:
+                    bucket.discard(tid)
+                    if not bucket:
+                        del self._null_index[null]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -293,3 +339,53 @@ class VersionedView(DatabaseView):
             if content == row:
                 return True
         return False
+
+    # ------------------------------------------------------------------
+    # Index-accelerated correction queries (the chase hot path).
+    # The store's indexes over-approximate (old versions, rolled-back
+    # tids), so every hit is re-checked against the visible content.
+    # ------------------------------------------------------------------
+    def _visible_candidates(self, tids: Iterable[int]) -> Iterator[Tuple]:
+        seen: Set[Tuple] = set()
+        for tid in tuple(tids):
+            record = self._store._tuples.get(tid)
+            if record is None:
+                continue  # rolled back entirely; stale index entry
+            content = record.visible_content(self._priority)
+            if content is not None and content not in seen:
+                seen.add(content)
+                yield content
+
+    def tuples_with_value(
+        self, relation: str, position: int, value: DataTerm
+    ) -> Iterator[Tuple]:
+        bucket = self._store._value_index.get((relation, position, value), ())
+        for content in self._visible_candidates(bucket):
+            if content.relation == relation and content[position] == value:
+                yield content
+
+    def tuples_containing_null(self, null: LabeledNull) -> Iterator[Tuple]:
+        bucket = self._store._null_index.get(null, ())
+        for content in self._visible_candidates(bucket):
+            if content.contains_null(null):
+                yield content
+
+    def more_specific_tuples(self, row: Tuple) -> List[Tuple]:
+        candidates: Optional[Set[int]] = None
+        for position, value in enumerate(row.values):
+            if isinstance(value, LabeledNull):
+                continue
+            bucket = self._store._value_index.get((row.relation, position, value))
+            if not bucket:
+                return []
+            candidates = set(bucket) if candidates is None else candidates & bucket
+            if not candidates:
+                return []
+        if candidates is None:
+            # All-null pattern: fall back to every identity of the relation.
+            candidates = self._store._by_relation.get(row.relation, set())
+        return [
+            content
+            for content in self._visible_candidates(candidates)
+            if content.relation == row.relation and content.is_more_specific_than(row)
+        ]

@@ -1,5 +1,12 @@
-"""Synthetic workloads and the experiment harness reproducing Section 6."""
+"""Synthetic workloads, closed-loop service drivers, and the Section 6 harness."""
 
+from .closed_loop import (
+    ClientSpec,
+    ClosedLoopClient,
+    ClosedLoopDriver,
+    DriverReport,
+    conservative_answer,
+)
 from .data_gen import generate_initial_database, random_seed_tuple
 from .experiment import (
     INSERT_WORKLOAD,
@@ -20,6 +27,11 @@ from .workloads import insert_workload, mixed_workload
 
 __all__ = [
     "CellResult",
+    "ClientSpec",
+    "ClosedLoopClient",
+    "ClosedLoopDriver",
+    "DriverReport",
+    "conservative_answer",
     "ExperimentConfig",
     "ExperimentEnvironment",
     "ExperimentResult",

@@ -1,0 +1,183 @@
+"""Closed-loop multi-client driver for the update-exchange service.
+
+Models the human side of Youtopia at a controllable timescale: each client
+keeps at most one update outstanding, thinks for a configurable number of
+ticks between submissions, and frontier questions sit in the inbox for
+``answer_delay`` ticks before *some* client (round-robin — usually not the
+one that asked) answers them.  One tick = submissions, then a service pump,
+then due answers, then another pump; parked updates take no steps in between,
+so frontier waits are real waiting, not busy-stepping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..core.frontier import (
+    DeleteSubsetOperation,
+    ExpandOperation,
+    FrontierOperation,
+    NegativeFrontierRequest,
+    UnifyOperation,
+)
+from ..core.update import UserOperation
+from ..service.inbox import InboxQuestion
+from ..service.repository import RepositoryService
+from ..service.session import ClientSession
+from ..service.tickets import UpdateTicket
+
+#: ``strategy(question) -> answer`` (an operation or an alternatives index).
+AnswerStrategy = Callable[[InboxQuestion], Union[FrontierOperation, int]]
+
+
+def conservative_answer(question: InboxQuestion) -> FrontierOperation:
+    """The :class:`~repro.core.oracle.AlwaysUnifyOracle` policy as a strategy.
+
+    Prefers unification (never grows the database at a frontier), so every
+    chase the driver resumes terminates quickly — the sensible default for
+    throughput measurements.
+    """
+    request = question.request
+    if isinstance(request, NegativeFrontierRequest):
+        return DeleteSubsetOperation((request.candidates[0],))
+    for frontier_tuple in request.frontier_tuples:
+        if frontier_tuple.candidates:
+            return UnifyOperation(frontier_tuple, frontier_tuple.candidates[0])
+    return ExpandOperation(request.frontier_tuples[0])
+
+
+@dataclass
+class ClientSpec:
+    """Static description of one closed-loop client."""
+
+    name: str
+    #: The updates this client will submit, in order.
+    operations: List[UserOperation]
+    #: Ticks the client idles between a completed update and the next submission.
+    think_time: int = 1
+
+
+class ClosedLoopClient:
+    """Runtime state of one client: its session, cursor, and outstanding ticket."""
+
+    def __init__(self, spec: ClientSpec, session: ClientSession):
+        self.spec = spec
+        self.session = session
+        self._cursor = 0
+        self._thinking = 0
+        self.outstanding: Optional[UpdateTicket] = None
+
+    @property
+    def is_done(self) -> bool:
+        """``True`` once every operation was submitted and resolved."""
+        return self.outstanding is None and self._cursor >= len(self.spec.operations)
+
+    def tick(self, service: RepositoryService) -> Optional[UpdateTicket]:
+        """Advance this client by one tick; returns a ticket if one was submitted."""
+        if self.outstanding is not None:
+            if not self.outstanding.is_done:
+                return None
+            self.outstanding = None
+            self._thinking = self.spec.think_time
+        if self._cursor >= len(self.spec.operations):
+            return None
+        if self._thinking > 0:
+            self._thinking -= 1
+            return None
+        operation = self.spec.operations[self._cursor]
+        self._cursor += 1
+        self.outstanding = service.submit(self.session.session_id, operation)
+        return self.outstanding
+
+
+@dataclass
+class DriverReport:
+    """Outcome of one closed-loop run."""
+
+    ticks: int = 0
+    submitted: int = 0
+    answered: int = 0
+    #: ``True`` when every client finished within the tick budget.
+    all_done: bool = False
+    #: Frontier waits in ticks (asked tick → answered tick), per answer.
+    frontier_wait_ticks: List[int] = field(default_factory=list)
+
+
+class ClosedLoopDriver:
+    """Drives a :class:`RepositoryService` with think-time clients and late answers."""
+
+    def __init__(
+        self,
+        service: RepositoryService,
+        specs: Sequence[ClientSpec],
+        answer_delay: int = 1,
+        answer_strategy: AnswerStrategy = conservative_answer,
+    ):
+        self.service = service
+        self.answer_delay = answer_delay
+        self.answer_strategy = answer_strategy
+        self.clients = [
+            ClosedLoopClient(spec, service.open_session(spec.name)) for spec in specs
+        ]
+        self._asked_tick: Dict[int, int] = {}
+        self._answerer_cursor = 0
+
+    def _next_answerer(self, asking_session: int) -> ClientSession:
+        """Round-robin over clients, skipping the asker when someone else exists."""
+        for _ in range(len(self.clients)):
+            client = self.clients[self._answerer_cursor % len(self.clients)]
+            self._answerer_cursor += 1
+            if client.session.session_id != asking_session or len(self.clients) == 1:
+                return client.session
+        return self.clients[0].session
+
+    def _refresh_questions(self, tick: int) -> None:
+        """Stamp newly asked questions with *tick*; forget cancelled ones.
+
+        Questions vanish from the inbox without being answered when their
+        update is aborted and restarted; dropping their stale entries keeps
+        the bookkeeping bounded by the number of *open* questions.
+        """
+        open_ids = set()
+        for question in self.service.inbox():
+            open_ids.add(question.decision_id)
+            self._asked_tick.setdefault(question.decision_id, tick)
+        for decision_id in list(self._asked_tick):
+            if decision_id not in open_ids:
+                del self._asked_tick[decision_id]
+
+    def run(self, max_ticks: int = 10_000) -> DriverReport:
+        """Run the closed loop until every client is done (or the tick budget ends)."""
+        report = DriverReport()
+        for tick in range(1, max_ticks + 1):
+            report.ticks = tick
+            # 1. clients submit (closed loop: one outstanding update each)
+            for client in self.clients:
+                if client.tick(self.service) is not None:
+                    report.submitted += 1
+            # 2. the service runs everything runnable; new questions get filed
+            self.service.pump()
+            self._refresh_questions(tick)
+            # 3. questions that waited long enough get answered by a peer
+            for question in list(self.service.inbox()):
+                if tick - self._asked_tick[question.decision_id] < self.answer_delay:
+                    continue
+                answerer = self._next_answerer(question.ticket.session_id)
+                self.service.answer(
+                    answerer.session_id,
+                    question.decision_id,
+                    self.answer_strategy(question),
+                )
+                report.answered += 1
+                report.frontier_wait_ticks.append(
+                    tick - self._asked_tick.pop(question.decision_id)
+                )
+            # 4. resumed updates continue immediately; questions they park on
+            #    are stamped *this* tick so their waits are not undercounted
+            self.service.pump()
+            self._refresh_questions(tick)
+            if all(client.is_done for client in self.clients):
+                report.all_done = True
+                break
+        return report

@@ -16,6 +16,8 @@ from repro.core.oracle import (
     AlwaysUnifyOracle,
     CallbackOracle,
     CountingOracle,
+    DeferredOracle,
+    FrontierPending,
     InteractiveOracle,
     OracleError,
     RandomOracle,
@@ -147,6 +149,128 @@ class TestCountingAndCallbackOracles:
         oracle = CallbackOracle(callback)
         oracle.decide(request, database)
         assert seen == [request]
+
+    def test_callback_oracle_propagates_errors(self, positive_request):
+        request, database = positive_request
+
+        def broken(req, view):
+            raise OracleError("the human hung up")
+
+        with pytest.raises(OracleError, match="hung up"):
+            CallbackOracle(broken).decide(request, database)
+
+        def crashing(req, view):
+            raise ZeroDivisionError("bug in the callback")
+
+        # Non-oracle exceptions must surface unchanged, not be swallowed.
+        with pytest.raises(ZeroDivisionError):
+            CallbackOracle(crashing).decide(request, database)
+
+
+class TestDeferredOracle:
+    def test_decide_parks_with_a_pending_decision(self, positive_request):
+        request, database = positive_request
+        oracle = DeferredOracle()
+        with pytest.raises(FrontierPending) as excinfo:
+            oracle.decide(request, database)
+        decision = excinfo.value.decision
+        assert decision.request is request
+        assert decision.is_open
+        assert oracle.pending() == [decision]
+
+    def _park(self, oracle, request, database):
+        with pytest.raises(FrontierPending) as excinfo:
+            oracle.decide(request, database)
+        return excinfo.value.decision
+
+    def test_post_by_index_resolves_an_alternative(self, positive_request):
+        request, database = positive_request
+        oracle = DeferredOracle()
+        decision = self._park(oracle, request, database)
+        answered = oracle.post(decision.decision_id, 0)
+        assert answered.answered
+        assert answered.answer == request.alternatives()[0]
+        assert oracle.pending() == []
+
+    def test_post_by_operation(self, positive_request):
+        request, database = positive_request
+        oracle = DeferredOracle()
+        decision = self._park(oracle, request, database)
+        expand = ExpandOperation(request.frontier_tuples[0])
+        assert oracle.post(decision.decision_id, expand).answer is expand
+
+    def test_duplicate_answer_is_rejected(self, positive_request):
+        request, database = positive_request
+        oracle = DeferredOracle()
+        decision = self._park(oracle, request, database)
+        oracle.post(decision.decision_id, 0)
+        with pytest.raises(OracleError, match="already answered"):
+            oracle.post(decision.decision_id, 1)
+
+    def test_unknown_decision_and_bad_index(self, positive_request):
+        request, database = positive_request
+        oracle = DeferredOracle()
+        with pytest.raises(OracleError, match="unknown"):
+            oracle.post(99, 0)
+        decision = self._park(oracle, request, database)
+        with pytest.raises(OracleError, match="alternatives"):
+            oracle.post(decision.decision_id, len(request.alternatives()))
+
+    def test_operation_for_a_different_question_is_rejected(
+        self, positive_request, negative_request
+    ):
+        request, database = positive_request
+        other_request, _ = negative_request
+        oracle = DeferredOracle()
+        decision = self._park(oracle, request, database)
+        # An operation answering the *negative* request must not be accepted
+        # as the answer to the positive one (and vice versa).
+        foreign = other_request.alternatives()[0]
+        with pytest.raises(OracleError, match="does not answer"):
+            oracle.post(decision.decision_id, foreign)
+        other_decision = self._park(oracle, other_request, database)
+        with pytest.raises(OracleError, match="does not answer"):
+            oracle.post(other_decision.decision_id, request.alternatives()[0])
+
+    def test_negative_request_accepts_any_candidate_subset(self, negative_request):
+        request, database = negative_request
+        oracle = DeferredOracle()
+        decision = self._park(oracle, request, database)
+        subset = DeleteSubsetOperation(tuple(request.candidates[:2]))
+        assert subset not in request.alternatives(), "larger than the menu"
+        assert oracle.post(decision.decision_id, subset).answer is subset
+
+    def test_cancelled_decision_rejects_late_answers(self, positive_request):
+        request, database = positive_request
+        oracle = DeferredOracle()
+        decision = self._park(oracle, request, database)
+        oracle.cancel(decision.decision_id)
+        oracle.cancel(decision.decision_id)  # idempotent
+        assert oracle.pending() == []
+        with pytest.raises(OracleError, match="cancelled"):
+            oracle.post(decision.decision_id, 0)
+
+    def test_cancel_forwards_through_wrapping_oracles(self, positive_request):
+        # An execution parked under CountingOracle(DeferredOracle()) must be
+        # able to cancel its decision on abort through the wrapper.
+        request, database = positive_request
+        inner = DeferredOracle()
+        wrapped = CountingOracle(inner)
+        with pytest.raises(FrontierPending) as excinfo:
+            wrapped.decide(request, database)
+        wrapped.cancel(excinfo.value.decision.decision_id)
+        assert inner.pending() == []
+        with pytest.raises(OracleError, match="cancelled"):
+            inner.post(excinfo.value.decision.decision_id, 0)
+
+    def test_reset_forgets_everything(self, positive_request):
+        request, database = positive_request
+        oracle = DeferredOracle()
+        self._park(oracle, request, database)
+        oracle.reset()
+        assert oracle.pending() == []
+        fresh = self._park(oracle, request, database)
+        assert fresh.decision_id == 1, "ids restart after reset"
 
 
 class TestInteractiveOracle:

@@ -8,7 +8,7 @@ from repro.core.terms import Constant, LabeledNull
 from repro.core.tuples import Tuple, make_tuple
 from repro.core.writes import delete, insert, modify
 from repro.storage.index import PositionIndex
-from repro.storage.interface import dump_sorted
+from repro.storage.interface import DatabaseView, dump_sorted
 from repro.storage.memory import MemoryDatabase
 from repro.storage.overlay import OverlayView, view_with_write, view_without_write
 
@@ -95,6 +95,47 @@ class TestMemoryDatabase:
         small_db.insert(make_tuple("Q", "b"))
         small_db.insert(make_tuple("Q", "a"))
         assert dump_sorted(small_db) == ["Q(a)", "Q(b)"]
+
+    def test_more_specific_tuples_uses_index_and_matches_default(self, small_db):
+        null_one = LabeledNull("n1")
+        null_two = LabeledNull("n2")
+        rows = [
+            make_tuple("P", "x", "y"),
+            make_tuple("P", "x", "z"),
+            make_tuple("P", "w", "y"),
+            Tuple("P", ("x", null_one)),
+        ]
+        for row in rows:
+            small_db.insert(row)
+        pattern = Tuple("P", ("x", null_two))
+        indexed = small_db.more_specific_tuples(pattern)
+        default = DatabaseView.more_specific_tuples(small_db, pattern)
+        assert set(indexed) == set(default)
+        # All three x-rows qualify (reflexively including the null variant);
+        # the w-row must have been pruned by the position index.
+        assert set(indexed) == {rows[0], rows[1], rows[3]}
+
+    def test_more_specific_tuples_all_null_pattern_falls_back_to_relation(self, small_db):
+        rows = [make_tuple("P", "x", "y"), make_tuple("P", "w", "z")]
+        for row in rows:
+            small_db.insert(row)
+        pattern = Tuple("P", (LabeledNull("a1"), LabeledNull("a2")))
+        assert set(small_db.more_specific_tuples(pattern)) == set(rows)
+
+    def test_more_specific_tuples_no_constant_match_is_empty(self, small_db):
+        small_db.insert(make_tuple("P", "x", "y"))
+        pattern = Tuple("P", ("absent", LabeledNull("b1")))
+        assert small_db.more_specific_tuples(pattern) == []
+
+    def test_more_specific_tuples_repeated_null_consistency(self, small_db):
+        # P(v, v) is more specific than P(n, n); P(v, u) is not (the map on
+        # the repeated null would be inconsistent).  The index intersection
+        # must not short-circuit that check.
+        small_db.insert(make_tuple("P", "v", "v"))
+        small_db.insert(make_tuple("P", "v", "u"))
+        shared = LabeledNull("c1")
+        pattern = Tuple("P", (shared, shared))
+        assert set(small_db.more_specific_tuples(pattern)) == {make_tuple("P", "v", "v")}
 
 
 class TestPositionIndex:

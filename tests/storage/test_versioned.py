@@ -129,3 +129,88 @@ class TestVersionedView:
         store.apply_write(insert(make_tuple("P", "v")), priority=5)
         store.apply_write(insert(make_tuple("P", "v")), priority=3)
         assert list(store.view_for(10).tuples("P")) == [make_tuple("P", "v")]
+
+
+class TestIndexedCorrectionQueries:
+    """The view's indexed correction queries must match the interface defaults.
+
+    The chase-hot queries (``more_specific_tuples``, ``tuples_containing_null``,
+    ``tuples_with_value``) are index-accelerated on :class:`VersionedView`;
+    the store's indexes over-approximate across versions and rollbacks, so
+    these tests exercise modified, deleted and rolled-back tuples at several
+    priorities and compare against the scanning defaults.
+    """
+
+    @pytest.fixture
+    def busy_store(self, store):
+        from repro.core.tuples import Tuple
+
+        null = LabeledNull("n1")
+        store.apply_write(insert(make_tuple("P", "x")), priority=1)
+        store.apply_write(insert(Tuple("Q", ("x", null))), priority=1)
+        store.apply_write(insert(make_tuple("Q", "x", "y")), priority=2)
+        store.apply_write(
+            modify(Tuple("Q", ("x", null)), make_tuple("Q", "x", "z"), null, Constant("z")),
+            priority=3,
+        )
+        store.apply_write(insert(make_tuple("Q", "w", "y")), priority=4)
+        store.apply_write(delete(make_tuple("Q", "x", "y")), priority=5)
+        store.apply_write(insert(make_tuple("Q", "x", "rolled")), priority=6)
+        store.rollback(6)
+        return store, null
+
+    def _assert_matches_defaults(self, view, pattern, null):
+        from repro.storage.interface import DatabaseView
+
+        assert set(view.more_specific_tuples(pattern)) == set(
+            DatabaseView.more_specific_tuples(view, pattern)
+        )
+        assert set(view.tuples_containing_null(null)) == set(
+            DatabaseView.tuples_containing_null(view, null)
+        )
+        for position, value in enumerate(pattern.values):
+            if isinstance(value, LabeledNull):
+                continue
+            assert set(view.tuples_with_value("Q", position, value)) == set(
+                DatabaseView.tuples_with_value(view, "Q", position, value)
+            )
+
+    def test_indexed_queries_match_defaults_at_every_priority(self, busy_store):
+        from repro.core.tuples import Tuple
+
+        store, null = busy_store
+        pattern = Tuple("Q", (Constant("x"), LabeledNull("probe")))
+        for priority in (0, 1, 2, 3, 4, 5, 6, LATEST):
+            self._assert_matches_defaults(store.view_for(priority), pattern, null)
+
+    def test_all_null_pattern_matches_default(self, busy_store):
+        from repro.core.tuples import Tuple
+        from repro.storage.interface import DatabaseView
+
+        store, _ = busy_store
+        pattern = Tuple("Q", (LabeledNull("a"), LabeledNull("b")))
+        view = store.view_for(LATEST)
+        assert set(view.more_specific_tuples(pattern)) == set(
+            DatabaseView.more_specific_tuples(view, pattern)
+        )
+
+    def test_rolled_back_tuples_never_surface(self, busy_store):
+        from repro.core.tuples import Tuple
+
+        store, _ = busy_store
+        view = store.view_for(LATEST)
+        pattern = Tuple("Q", (Constant("x"), LabeledNull("p")))
+        assert make_tuple("Q", "x", "rolled") not in view.more_specific_tuples(pattern)
+
+    def test_rollback_purges_index_entries_of_dead_tids(self, store):
+        from repro.core.tuples import Tuple
+
+        null = LabeledNull("gone")
+        store.apply_write(insert(Tuple("Q", ("a", null))), priority=7)
+        assert store._value_index.get(("Q", 0, Constant("a")))
+        assert store._null_index.get(null)
+        store.rollback(7)
+        # The identity died with the rollback; an abort-heavy service must
+        # not accumulate dead tids (or dead keys) in the hot-path buckets.
+        assert ("Q", 0, Constant("a")) not in store._value_index
+        assert null not in store._null_index

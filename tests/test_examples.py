@@ -49,6 +49,16 @@ def test_interference_example():
     assert "matches the serial order u1 -> u2: True" in output
 
 
+def test_service_demo_example():
+    output = _run_example("service_demo.py")
+    assert "opened 8 client sessions" in output
+    assert "8 updates parked on frontier questions" in output
+    assert "steps while parked unchanged: True" in output
+    assert "resumed by bo and is now: committed" in output
+    assert "committed updates: 8" in output
+    assert "p50 frontier wait" in output
+
+
 @pytest.mark.slow
 def test_synthetic_workload_example():
     output = _run_example("synthetic_workload.py", timeout=900)

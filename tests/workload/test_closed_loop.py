@@ -1,0 +1,96 @@
+"""Tests for the closed-loop multi-client service driver."""
+
+import pytest
+
+from repro.core import InsertOperation, make_tuple
+from repro.fixtures import genealogy_repository, travel_repository
+from repro.service import AdmissionConfig, RepositoryService, TicketStatus
+from repro.workload import ClientSpec, ClosedLoopDriver, conservative_answer
+
+
+def _genealogy_service(**admission_kwargs):
+    database, mappings = genealogy_repository()
+    admission = AdmissionConfig(**admission_kwargs) if admission_kwargs else None
+    return RepositoryService(database.snapshot(), mappings, admission=admission)
+
+
+def _specs(clients, updates_each, think_time=1):
+    return [
+        ClientSpec(
+            name="client-{}".format(index),
+            operations=[
+                InsertOperation(
+                    make_tuple("Person", "p_{}_{}".format(index, serial))
+                )
+                for serial in range(updates_each)
+            ],
+            think_time=think_time,
+        )
+        for index in range(clients)
+    ]
+
+
+class TestClosedLoopDriver:
+    def test_all_clients_drain_and_commit(self):
+        service = _genealogy_service()
+        driver = ClosedLoopDriver(service, _specs(4, 3), answer_delay=1)
+        report = driver.run(max_ticks=500)
+        assert report.all_done
+        assert report.submitted == 12
+        assert all(
+            ticket.status is TicketStatus.COMMITTED for ticket in service.tickets()
+        )
+        assert service.is_quiescent
+
+    def test_answer_delay_is_respected(self):
+        service = _genealogy_service()
+        driver = ClosedLoopDriver(service, _specs(2, 2), answer_delay=3)
+        report = driver.run(max_ticks=500)
+        assert report.all_done
+        assert report.answered > 0
+        assert all(wait >= 3 for wait in report.frontier_wait_ticks)
+
+    def test_closed_loop_keeps_one_outstanding_update_per_client(self):
+        service = _genealogy_service(max_in_flight=2, batch_size=2)
+        specs = _specs(2, 4, think_time=0)
+        driver = ClosedLoopDriver(service, specs, answer_delay=1)
+        report = driver.run(max_ticks=500)
+        assert report.all_done
+        # A closed loop never queues more than one update per client.
+        assert service.metrics_snapshot()["committed"] == 8
+
+    def test_questions_are_answered_by_peers_when_possible(self):
+        service = _genealogy_service()
+        driver = ClosedLoopDriver(service, _specs(3, 1), answer_delay=1)
+        driver.run(max_ticks=500)
+        sessions = service.sessions()
+        # Every question was answered by somebody, and answer counts add up.
+        assert sum(session.frontier_answers for session in sessions) == 3
+
+    def test_deterministic_workload_needs_no_answers(self):
+        database, mappings = travel_repository()
+        service = RepositoryService(database.snapshot(), mappings)
+        specs = [
+            ClientSpec(
+                name="solo",
+                operations=[
+                    InsertOperation(
+                        make_tuple("T", "Falls", "ABC Tours", "Toronto")
+                    )
+                ],
+            )
+        ]
+        report = ClosedLoopDriver(service, specs).run(max_ticks=100)
+        assert report.all_done
+        assert report.answered == 0
+
+    def test_conservative_answer_prefers_unification(self):
+        service = _genealogy_service()
+        driver = ClosedLoopDriver(
+            service, _specs(1, 1), answer_delay=1, answer_strategy=conservative_answer
+        )
+        driver.run(max_ticks=100)
+        snapshot = service.snapshot()
+        # Unification closes the ancestor loop instead of growing it.
+        assert snapshot.count("Person") == 1
+        assert snapshot.count("Father") == 1
