@@ -85,8 +85,12 @@ class UpdateExecution:
         self.steps_taken = 0
         self.frontier_operations = 0
         self.writes_performed = 0
+        from ..query.compiled import compile_mappings
+
         self._store = store
         self._mappings = list(mappings)
+        #: Compiled plans shared process-wide through the global plan cache.
+        self._compiled = compile_mappings(self._mappings)
         self._oracle = oracle
         self._null_factory = null_factory
         self._planner = RepairPlanner(self._mappings, null_factory)
@@ -172,7 +176,7 @@ class UpdateExecution:
         # ----- discover new violations -----
         applied_writes = [logged.write for logged in applied_logged]
         new_violations = violations_for_writes(
-            applied_writes, self._mappings, view, record
+            applied_writes, self._compiled, view, record
         )
         self._violation_queue = self._planner.refresh_queue(
             self._violation_queue, new_violations, view

@@ -49,6 +49,7 @@ class OptimisticScheduler:
         max_total_steps: int = 1_000_000,
         promote_restarts_to_precise: bool = False,
         prune_committed: bool = False,
+        compact_committed: bool = True,
     ):
         self._store = store
         self._mappings = list(mappings)
@@ -64,6 +65,13 @@ class OptimisticScheduler:
         #: so per-pump scans stay proportional to the in-flight set, not to
         #: everything ever served.  Batch callers keep them for inspection.
         self._prune_committed = prune_committed
+        #: Compact the store below the commit watermark as updates commit.
+        #: Committed version chains collapse and committed write-log entries
+        #: drop out; no tracker, conflict check or rollback can ever touch
+        #: them again (they all filter on the abortable set), so this only
+        #: bounds storage growth — long-running service sessions would
+        #: otherwise accrete garbage proportional to everything ever served.
+        self._compact_committed = compact_committed
         self._pruned_terminated = 0
 
         self._executions: Dict[int, UpdateExecution] = {}
@@ -270,8 +278,12 @@ class OptimisticScheduler:
 
         An update can no longer be aborted once it has terminated and every
         lower-numbered update has committed: no future write can come from a
-        lower-numbered update.  Committed updates' read logs are dropped.
+        lower-numbered update.  Committed updates' read logs are dropped, and
+        (unless disabled) their version chains and write-log entries are
+        compacted away incrementally, touching only the committed updates'
+        own tuples plus one filter pass over the (compaction-bounded) log.
         """
+        committed_now: List[int] = []
         for priority in sorted(self._executions):
             if priority in self._committed:
                 continue
@@ -281,12 +293,15 @@ class OptimisticScheduler:
             self._committed.add(priority)
             self._commit_watermark = priority
             self._newly_committed.append(priority)
+            committed_now.append(priority)
             self._read_log.remove_reader(priority)
             if self._prune_committed:
                 # Committed executions can never be touched again; dropping
                 # them keeps the per-pump ready/parked scans O(in-flight).
                 del self._executions[priority]
                 self._pruned_terminated += 1
+        if committed_now and self._compact_committed:
+            self._store.compact_below(self._commit_watermark, committed_now)
 
     # ------------------------------------------------------------------
     # Results

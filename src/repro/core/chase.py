@@ -61,8 +61,12 @@ class ChaseEngine:
         null_factory: Optional[NullFactory] = None,
         config: Optional[ChaseConfig] = None,
     ):
+        from ..query.compiled import compile_mappings
+
         self._database = database
         self._mappings: List[Tgd] = list(mappings)
+        #: Shared compiled plans: one compilation per mapping per process.
+        self._compiled = compile_mappings(self._mappings)
         self._oracle = oracle if oracle is not None else AlwaysUnifyOracle()
         if null_factory is None:
             # Start numbering past the nulls already stored so that "fresh"
@@ -110,7 +114,7 @@ class ChaseEngine:
                 record.steps += 1
                 applied = self._apply_writes(write_set, record, tree, root_id)
                 new_violations = violations_for_writes(
-                    applied, self._mappings, self._database
+                    applied, self._compiled, self._database
                 )
                 if tree is not None:
                     for violation in new_violations:

@@ -138,11 +138,12 @@ class RepairPlanner:
         )
 
     def _generate_firing(self, violation: Violation) -> FiringState:
+        from ..query.compiled import get_plan
+
+        plan = get_plan(violation.tgd)
         assignment = violation.exported_assignment()
         fresh: Dict = {}
-        for variable in sorted(
-            violation.tgd.existential_variables(), key=lambda v: v.name
-        ):
+        for variable in plan.sorted_existentials:
             fresh[variable] = self._null_factory.fresh()
         full_assignment = dict(assignment)
         full_assignment.update(fresh)

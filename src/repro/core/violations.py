@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple as PyTuple
 
 from ..query.base import ReadQuery
+from ..query.compiled import CompiledMappings, compile_mappings, get_plan
 from ..query.homomorphism import exists_match, find_matches
 from ..query.violation_query import (
     ViolationQuery,
@@ -61,7 +62,7 @@ class Violation:
 
     def exported_assignment(self) -> Dict[Variable, DataTerm]:
         """The assignment restricted to the mapping's frontier variables."""
-        frontier = self.tgd.frontier_variables()
+        frontier = get_plan(self.tgd).frontier_variables
         return {
             variable: value
             for variable, value in self.bindings
@@ -88,7 +89,8 @@ class Violation:
         for row in self.witness:
             if not view.contains(row):
                 return False
-        return not exists_match(self.tgd.rhs, view, self.exported_assignment())
+        plan = get_plan(self.tgd)
+        return not plan.rhs.exists_match(view, self.exported_assignment())
 
     def describe(self) -> str:
         """One-line description for logs and interactive oracles."""
@@ -138,22 +140,24 @@ def violation_queries_for_write(
     * A modification that is part of a null-replacement cannot create
       RHS-violations (all occurrences of the null change consistently), so
       only its new content is considered, against LHS atoms.
+
+    *mappings* may be a plain tgd sequence or a pre-built
+    :class:`~repro.query.compiled.CompiledMappings`; either way the
+    relation-keyed plan lookups replace the historical scan over every
+    mapping (which re-derived each mapping's relation sets per write).
     """
+    compiled = compile_mappings(mappings)
     queries: List[PyTuple[ViolationQuery, ViolationKind]] = []
     added = write.added_row()
     if added is not None:
-        for tgd in mappings:
-            if added.relation not in tgd.lhs_relations():
-                continue
-            for query in violation_queries_for_write_row(tgd, added, removed=False):
+        for plan in compiled.reading(added.relation):
+            for query in violation_queries_for_write_row(plan.tgd, added, removed=False):
                 queries.append((query, ViolationKind.LHS))
     if write.kind is WriteKind.DELETE:
         removed = write.removed_row()
         if removed is not None:
-            for tgd in mappings:
-                if removed.relation not in tgd.rhs_relations():
-                    continue
-                for query in violation_queries_for_write_row(tgd, removed, removed=True):
+            for plan in compiled.writing(removed.relation):
+                for query in violation_queries_for_write_row(plan.tgd, removed, removed=True):
                     queries.append((query, ViolationKind.RHS))
     return queries
 

@@ -1,6 +1,13 @@
 """Query package: homomorphisms, conjunctive, violation and correction queries."""
 
 from .base import ReadQuery
+from .compiled import (
+    CompiledConjunction,
+    CompiledMappings,
+    CompiledTgd,
+    compile_mappings,
+    get_plan,
+)
 from .conjunctive import ConjunctiveQuery
 from .correction_query import (
     MoreSpecificQuery,
@@ -11,14 +18,19 @@ from .homomorphism import exists_match, find_matches, formula_satisfied
 from .violation_query import ViolationQuery, ViolationRow
 
 __all__ = [
+    "CompiledConjunction",
+    "CompiledMappings",
+    "CompiledTgd",
     "ConjunctiveQuery",
     "MoreSpecificQuery",
     "NullOccurrenceQuery",
     "ReadQuery",
     "ViolationQuery",
     "ViolationRow",
+    "compile_mappings",
     "correction_queries_for_frontier_tuple",
     "exists_match",
     "find_matches",
     "formula_satisfied",
+    "get_plan",
 ]

@@ -1,0 +1,303 @@
+"""Compiled mapping plans: precomputed evaluation state for chase-hot queries.
+
+Violation queries, the repair planner and the incremental violation detector
+all interrogate the *structure* of a mapping on every chase step: which
+variables are exported, which atoms mention the written relation, in which
+order a backtracking join should match the atoms.  The :class:`Tgd` value
+object recomputes those answers from scratch on each call, which is fine for
+one chase but shows up everywhere once a scheduler replays thousands of steps.
+
+A :class:`CompiledTgd` derives everything once per mapping:
+
+* the variable sets (RHS, frontier, existential — the latter also pre-sorted
+  for deterministic null generation),
+* per-relation LHS/RHS atom lists (write seeding stops scanning every atom),
+* a :class:`CompiledConjunction` per side, which memoizes the
+  most-constrained-first atom ordering per set of pre-bound variables and
+  keeps the original-position permutation needed to report witnesses.
+
+Plans are value-cached: :func:`get_plan` memoizes on the (hashable) tgd, so
+every engine, planner and query sharing a mapping shares one plan.  A
+:class:`CompiledMappings` bundles the plans of a mapping set with
+relation-keyed reading/writing lookups for the write-seeded violation
+detector.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple as PyTuple,
+)
+
+from ..core.atoms import Atom
+from ..core.terms import DataTerm, Variable, is_variable
+from ..core.tgd import Tgd
+from ..core.tuples import Tuple
+from ..storage.interface import DatabaseView
+
+#: An assignment of mapping variables to data terms (constants or nulls).
+Assignment = Dict[Variable, DataTerm]
+
+#: A match: the completed assignment plus the tuple matched by each atom, in
+#: original atom order.
+Match = PyTuple[Assignment, PyTuple[Tuple, ...]]
+
+
+class CompiledConjunction:
+    """A conjunction of atoms with memoized join orderings.
+
+    The ordering heuristic is the one from :mod:`repro.query.homomorphism`
+    (most bound positions first, ties broken by fewer distinct unbound
+    variables).  It depends only on *which* variables are bound — not on
+    their values — so orderings are cached per bound-variable set; a chase
+    asks for the same handful of seeds over and over.
+    """
+
+    __slots__ = ("atoms", "_variable_set", "_orderings")
+
+    def __init__(self, atoms: Sequence[Atom]):
+        self.atoms: PyTuple[Atom, ...] = tuple(atoms)
+        variables: set = set()
+        for atom in self.atoms:
+            variables.update(atom.variable_set())
+        self._variable_set: FrozenSet[Variable] = frozenset(variables)
+        # bound-variable frozenset -> tuple of (atom, original position)
+        self._orderings: Dict[FrozenSet[Variable], PyTuple[PyTuple[Atom, int], ...]] = {}
+
+    @property
+    def variable_set(self) -> FrozenSet[Variable]:
+        """All distinct variables of the conjunction."""
+        return self._variable_set
+
+    def ordering(
+        self, bound: FrozenSet[Variable]
+    ) -> PyTuple[PyTuple[Atom, int], ...]:
+        """Atoms in match order, each paired with its original position."""
+        key = bound & self._variable_set
+        cached = self._orderings.get(key)
+        if cached is not None:
+            return cached
+
+        def score(entry: PyTuple[Atom, int]) -> PyTuple[int, int]:
+            atom = entry[0]
+            bound_count = 0
+            unbound = set()
+            for term in atom.terms:
+                if is_variable(term):
+                    if term in key:
+                        bound_count += 1
+                    else:
+                        unbound.add(term)
+                else:
+                    bound_count += 1
+            return (-bound_count, len(unbound))
+
+        ordered = tuple(
+            sorted(
+                ((atom, position) for position, atom in enumerate(self.atoms)),
+                key=score,
+            )
+        )
+        self._orderings[key] = ordered
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def find_matches(
+        self,
+        view: DatabaseView,
+        assignment: Optional[Assignment] = None,
+        limit: Optional[int] = None,
+    ) -> List[Match]:
+        """Homomorphisms of the conjunction into *view* extending *assignment*.
+
+        Identical semantics to :func:`repro.query.homomorphism.find_matches`,
+        minus the per-call ordering and index-permutation work.
+        """
+        seed: Assignment = dict(assignment) if assignment else {}
+        ordered = self.ordering(frozenset(seed))
+        atom_count = len(ordered)
+        results: List[Match] = []
+
+        def recurse(depth: int, current: Assignment, chosen: List[Tuple]) -> bool:
+            if depth == atom_count:
+                witness: List[Optional[Tuple]] = [None] * atom_count
+                for (atom, position), row in zip(ordered, chosen):
+                    witness[position] = row
+                results.append((dict(current), tuple(witness)))  # type: ignore[arg-type]
+                return limit is not None and len(results) >= limit
+            atom = ordered[depth][0]
+            for row in _candidate_tuples(atom, current, view):
+                extended = atom.match(row, current)
+                if extended is None:
+                    continue
+                chosen.append(row)
+                if recurse(depth + 1, extended, chosen):
+                    return True
+                chosen.pop()
+            return False
+
+        recurse(0, seed, [])
+        return results
+
+    def exists_match(
+        self, view: DatabaseView, assignment: Optional[Assignment] = None
+    ) -> bool:
+        """``True`` when at least one homomorphism extending *assignment* exists."""
+        return bool(self.find_matches(view, assignment, limit=1))
+
+
+def _candidate_tuples(
+    atom: Atom, assignment: Assignment, view: DatabaseView
+) -> Iterable[Tuple]:
+    """Tuples of the view that could match *atom* under *assignment*."""
+    best_position: Optional[int] = None
+    best_value: Optional[DataTerm] = None
+    for position, term in enumerate(atom.terms):
+        if is_variable(term):
+            bound = assignment.get(term)
+            if bound is not None:
+                best_position, best_value = position, bound
+                break
+        else:
+            best_position, best_value = position, term
+            break
+    if best_position is None:
+        return view.tuples(atom.relation)
+    return view.tuples_with_value(atom.relation, best_position, best_value)
+
+
+class CompiledTgd:
+    """Everything the chase derives from one mapping, derived exactly once."""
+
+    __slots__ = (
+        "tgd",
+        "lhs",
+        "rhs",
+        "lhs_variables",
+        "rhs_variables",
+        "frontier_variables",
+        "existential_variables",
+        "sorted_existentials",
+        "lhs_relations",
+        "rhs_relations",
+        "relations",
+        "lhs_atoms_by_relation",
+        "rhs_atoms_by_relation",
+    )
+
+    def __init__(self, tgd: Tgd):
+        self.tgd = tgd
+        self.lhs = CompiledConjunction(tgd.lhs)
+        self.rhs = CompiledConjunction(tgd.rhs)
+        self.lhs_variables = self.lhs.variable_set
+        self.rhs_variables = self.rhs.variable_set
+        self.frontier_variables = self.lhs_variables & self.rhs_variables
+        self.existential_variables = self.rhs_variables - self.lhs_variables
+        self.sorted_existentials: PyTuple[Variable, ...] = tuple(
+            sorted(self.existential_variables, key=lambda v: v.name)
+        )
+        self.lhs_relations = tgd.lhs_relations()
+        self.rhs_relations = tgd.rhs_relations()
+        self.relations = self.lhs_relations | self.rhs_relations
+        self.lhs_atoms_by_relation = _atoms_by_relation(tgd.lhs)
+        self.rhs_atoms_by_relation = _atoms_by_relation(tgd.rhs)
+
+    def exported(self, assignment: Assignment) -> Assignment:
+        """Restrict *assignment* to the variables the RHS can see."""
+        rhs_variables = self.rhs_variables
+        return {
+            variable: value
+            for variable, value in assignment.items()
+            if variable in rhs_variables
+        }
+
+    def __repr__(self) -> str:
+        return "CompiledTgd({})".format(self.tgd.name)
+
+
+def _atoms_by_relation(atoms: Sequence[Atom]) -> Dict[str, PyTuple[Atom, ...]]:
+    grouped: Dict[str, List[Atom]] = {}
+    for atom in atoms:
+        grouped.setdefault(atom.relation, []).append(atom)
+    return {relation: tuple(members) for relation, members in grouped.items()}
+
+
+#: Global plan cache.  Tgds are immutable values with cached hashes, so one
+#: process-wide memo is safe and lets plans be shared across engines,
+#: planners, schedulers and ad-hoc query objects without threading a cache
+#: through every constructor.  The cache is *bounded* (weak references cannot
+#: evict here — a plan strongly holds its tgd, so weak keys would be
+#: immortal): past the limit the oldest plans fall out FIFO and are simply
+#: recompiled on next use, so a long-running service compiling per-session
+#: mapping sets cannot grow the cache without bound.
+_PLANS: Dict[Tgd, CompiledTgd] = {}
+
+#: Far above any realistic concurrent mapping-set working set (the paper's
+#: densest experiment uses 100 mappings), yet it caps service-mode growth.
+_PLAN_CACHE_LIMIT = 4096
+
+
+def get_plan(tgd: Tgd) -> CompiledTgd:
+    """The (memoized, bounded) compiled plan for *tgd*."""
+    plan = _PLANS.get(tgd)
+    if plan is None:
+        plan = CompiledTgd(tgd)
+        while len(_PLANS) >= _PLAN_CACHE_LIMIT:
+            _PLANS.pop(next(iter(_PLANS)))
+        _PLANS[tgd] = plan
+    return plan
+
+
+class CompiledMappings:
+    """The compiled plans of a mapping set, with relation-keyed lookups.
+
+    ``reading(relation)`` / ``writing(relation)`` answer "which mappings could
+    a write into this relation violate?" in O(1) — the write-seeded violation
+    detector used to filter every mapping (recomputing its relation sets!) on
+    every single write.
+    """
+
+    __slots__ = ("plans", "_reading", "_writing")
+
+    def __init__(self, mappings: Iterable[Tgd]):
+        self.plans: PyTuple[CompiledTgd, ...] = tuple(
+            get_plan(tgd) for tgd in mappings
+        )
+        reading: Dict[str, List[CompiledTgd]] = {}
+        writing: Dict[str, List[CompiledTgd]] = {}
+        for plan in self.plans:
+            for relation in plan.lhs_relations:
+                reading.setdefault(relation, []).append(plan)
+            for relation in plan.rhs_relations:
+                writing.setdefault(relation, []).append(plan)
+        self._reading = {name: tuple(plans) for name, plans in reading.items()}
+        self._writing = {name: tuple(plans) for name, plans in writing.items()}
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def __iter__(self):
+        return iter(self.plans)
+
+    def reading(self, relation: str) -> PyTuple[CompiledTgd, ...]:
+        """Plans of mappings with *relation* on their LHS."""
+        return self._reading.get(relation, ())
+
+    def writing(self, relation: str) -> PyTuple[CompiledTgd, ...]:
+        """Plans of mappings with *relation* on their RHS."""
+        return self._writing.get(relation, ())
+
+
+def compile_mappings(mappings) -> CompiledMappings:
+    """Coerce a mapping sequence (or an existing bundle) to compiled form."""
+    if isinstance(mappings, CompiledMappings):
+        return mappings
+    return CompiledMappings(mappings)

@@ -2,76 +2,21 @@
 
 Satisfaction of the left- or right-hand side of a mapping is defined by the
 existence of a homomorphism from the formula into the database (Section 2 of
-the paper, following Fagin et al.).  This module implements the search as a
-backtracking join: atoms are matched one at a time, most-bound-first, with an
-index lookup whenever some position of the atom is already bound.
+the paper, following Fagin et al.).  The search itself — a backtracking join,
+atoms matched most-bound-first with an index lookup whenever some position is
+already bound — lives in :class:`repro.query.compiled.CompiledConjunction`;
+this module keeps the historical ad-hoc entry points, which compile the
+conjunction on the fly.  Hot callers (the chase, the violation queries) hold
+a compiled plan instead and skip the per-call compilation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple as PyTuple
+from typing import List, Optional, Sequence
 
 from ..core.atoms import Atom
-from ..core.terms import DataTerm, Variable, is_variable
-from ..core.tuples import Tuple
 from ..storage.interface import DatabaseView
-
-#: An assignment of mapping variables to data terms (constants or nulls).
-Assignment = Dict[Variable, DataTerm]
-
-#: A match: the completed assignment plus the tuple matched by each atom,
-#: in the order the atoms were given.
-Match = PyTuple[Assignment, PyTuple[Tuple, ...]]
-
-
-def _candidate_tuples(
-    atom: Atom, assignment: Assignment, view: DatabaseView
-) -> Iterator[Tuple]:
-    """Tuples of the view that could match *atom* under *assignment*.
-
-    When some atom position is already bound (to a constant in the atom, or to
-    a value via the assignment), the position index narrows the scan;
-    otherwise the whole relation is scanned.
-    """
-    best_position: Optional[int] = None
-    best_value: Optional[DataTerm] = None
-    for position, term in enumerate(atom.terms):
-        if is_variable(term):
-            bound = assignment.get(term)
-            if bound is not None:
-                best_position, best_value = position, bound
-                break
-        else:
-            best_position, best_value = position, term
-            break
-    if best_position is None:
-        return view.tuples(atom.relation)
-    return view.tuples_with_value(atom.relation, best_position, best_value)
-
-
-def _order_atoms(atoms: Sequence[Atom], assignment: Assignment) -> List[Atom]:
-    """Order atoms so that the most constrained ones are matched first.
-
-    A simple, effective heuristic: atoms with more bound positions (constants
-    or already-assigned variables) come first; ties broken by fewer distinct
-    unbound variables.
-    """
-    bound_variables = set(assignment)
-
-    def score(atom: Atom) -> PyTuple[int, int]:
-        bound = 0
-        unbound = set()
-        for term in atom.terms:
-            if is_variable(term):
-                if term in bound_variables:
-                    bound += 1
-                else:
-                    unbound.add(term)
-            else:
-                bound += 1
-        return (-bound, len(unbound))
-
-    return sorted(atoms, key=score)
+from .compiled import Assignment, CompiledConjunction, Match
 
 
 def find_matches(
@@ -91,32 +36,7 @@ def find_matches(
     are reported in the order of the *original* atom sequence, which is what
     the violation machinery expects when it builds witnesses.
     """
-    seed: Assignment = dict(assignment) if assignment else {}
-    ordered = _order_atoms(atoms, seed)
-    original_index = {id(atom): position for position, atom in enumerate(atoms)}
-    results: List[Match] = []
-
-    def recurse(depth: int, current: Assignment, chosen: List[Tuple]) -> bool:
-        """Return ``True`` when the limit was reached and search should stop."""
-        if depth == len(ordered):
-            witness: List[Optional[Tuple]] = [None] * len(atoms)
-            for atom, row in zip(ordered, chosen):
-                witness[original_index[id(atom)]] = row
-            results.append((dict(current), tuple(witness)))  # type: ignore[arg-type]
-            return limit is not None and len(results) >= limit
-        atom = ordered[depth]
-        for row in _candidate_tuples(atom, current, view):
-            extended = atom.match(row, current)
-            if extended is None:
-                continue
-            chosen.append(row)
-            if recurse(depth + 1, extended, chosen):
-                return True
-            chosen.pop()
-        return False
-
-    recurse(0, seed, [])
-    return results
+    return CompiledConjunction(atoms).find_matches(view, assignment, limit)
 
 
 def exists_match(
@@ -138,12 +58,14 @@ def formula_satisfied(
     This is tgd satisfaction: every homomorphism of the LHS must extend to a
     homomorphism of the RHS.
     """
+    rhs_plan = CompiledConjunction(rhs)
+    rhs_variables = rhs_plan.variable_set
     for assignment, _ in find_matches(lhs, view):
         exported = {
             variable: value
             for variable, value in assignment.items()
-            if any(variable in atom.variable_set() for atom in rhs)
+            if variable in rhs_variables
         }
-        if not exists_match(rhs, view, exported):
+        if not rhs_plan.exists_match(view, exported):
             return False
     return True

@@ -5,6 +5,18 @@ potentially affected mapping (Section 4.2, Example 4.1).  The query is seeded
 with the bindings obtained by matching the written tuple against one atom of
 the mapping, so its answer contains exactly the witnesses of the new
 violations this write is involved in.
+
+Evaluation goes through the mapping's :class:`~repro.query.compiled.CompiledTgd`
+plan (memoized per mapping), and the delta test behind
+:meth:`ViolationQuery.affected_by` is *seeded* as well: instead of evaluating
+the full query on the view and on the view-without-the-write and comparing,
+it enumerates only the answer rows that could involve the written tuple —
+witnesses using it on the LHS, and LHS matches whose ``NOT EXISTS`` flips
+because the RHS gained or lost a match through it.  The verdict is exactly
+the one full double evaluation would produce (the two views differ by at most
+one added and one removed tuple *value*, and every differing answer row must
+involve one of them); only the cost changes, which is what the PRECISE
+tracker and the conflict checker need from their hottest call.
 """
 
 from __future__ import annotations
@@ -12,13 +24,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple as PyTuple
 
-from ..core.atoms import Atom
 from ..core.terms import DataTerm, Variable
 from ..core.tgd import Tgd
 from ..core.tuples import Tuple
+from ..core.writes import Write
 from ..storage.interface import DatabaseView
 from .base import ReadQuery
-from .homomorphism import Assignment, exists_match, find_matches
+from .compiled import CompiledTgd, get_plan
+from .homomorphism import Assignment
 
 
 @dataclass(frozen=True)
@@ -38,6 +51,20 @@ class ViolationRow:
         return dict(self.bindings)
 
 
+def _merge_bindings(
+    base: Assignment, extra: Assignment
+) -> Optional[Assignment]:
+    """Merge two assignments; ``None`` on conflicting bindings."""
+    merged = dict(base)
+    for variable, value in extra.items():
+        bound = merged.get(variable)
+        if bound is None:
+            merged[variable] = value
+        elif bound != value:
+            return None
+    return merged
+
+
 class ViolationQuery(ReadQuery):
     """Find LHS matches of a mapping that have no corresponding RHS match."""
 
@@ -46,6 +73,7 @@ class ViolationQuery(ReadQuery):
     def __init__(self, tgd: Tgd, seed: Optional[Assignment] = None):
         self._tgd = tgd
         self._seed: Assignment = dict(seed) if seed else {}
+        self._plan: CompiledTgd = get_plan(tgd)
 
     @property
     def tgd(self) -> Tgd:
@@ -60,18 +88,13 @@ class ViolationQuery(ReadQuery):
     def relations(self) -> FrozenSet[str]:
         # Both sides are read: the LHS to find candidate witnesses, the RHS in
         # the NOT EXISTS subquery.
-        return self._tgd.lhs_relations() | self._tgd.rhs_relations()
+        return self._plan.relations
 
     def evaluate(self, view: DatabaseView) -> FrozenSet[ViolationRow]:
+        plan = self._plan
         rows: List[ViolationRow] = []
-        rhs_variables = self._tgd.rhs_variables()
-        for assignment, witness in find_matches(self._tgd.lhs, view, self._seed):
-            exported = {
-                variable: value
-                for variable, value in assignment.items()
-                if variable in rhs_variables
-            }
-            if exists_match(self._tgd.rhs, view, exported):
+        for assignment, witness in plan.lhs.find_matches(view, self._seed):
+            if plan.rhs.exists_match(view, plan.exported(assignment)):
                 continue
             rows.append(
                 ViolationRow(
@@ -80,6 +103,111 @@ class ViolationQuery(ReadQuery):
                 )
             )
         return frozenset(rows)
+
+    # ------------------------------------------------------------------
+    # Seeded delta test
+    # ------------------------------------------------------------------
+    def affected_by(self, write: Write, view: DatabaseView) -> bool:
+        """Exact test: does *write* change this query's answer on *view*?
+
+        *view* includes the write; the comparison state is
+        :func:`~repro.storage.overlay.view_without_write`, which differs from
+        *view* by at most one visible tuple value in each direction.  Any
+        answer-row difference must involve one of those values, so only the
+        seeded neighborhoods of the written tuple are searched.
+        """
+        if not self.might_be_affected_by(write):
+            return False
+        # The value-level delta between the two views.  A write whose value
+        # is no longer visible (overwritten since) — or whose removal is
+        # masked by an identical visible value — contributes nothing.
+        added = write.added_row()
+        if added is not None and not view.contains(added):
+            added = None
+        removed = write.removed_row()
+        if removed is not None and view.contains(removed):
+            removed = None
+        if added is None and removed is None:
+            return False
+        from ..storage.overlay import view_without_write
+
+        plan = self._plan
+        without = view_without_write(view, write)
+        # 1. A violating match whose witness uses the added value exists only
+        #    on the with-write side.
+        if added is not None and self._violating_match_using(plan, added, view):
+            return True
+        # 2. A violating match whose witness uses the removed value exists
+        #    only on the without-write side.
+        if removed is not None and self._violating_match_using(plan, removed, without):
+            return True
+        # 3. Matches present on both sides can still flip their NOT EXISTS:
+        #    the added value may complete an RHS match (satisfied with the
+        #    write, violating without) ...
+        if added is not None and self._rhs_existence_flip(
+            plan, added, search_view=without, violating_view=without, satisfied_view=view
+        ):
+            return True
+        #    ... and the removed value may have been the only RHS match
+        #    (violating with the write, satisfied without).
+        if removed is not None and self._rhs_existence_flip(
+            plan, removed, search_view=view, violating_view=view, satisfied_view=without
+        ):
+            return True
+        return False
+
+    def _violating_match_using(
+        self, plan: CompiledTgd, row: Tuple, side: DatabaseView
+    ) -> bool:
+        """Is there a violating LHS match on *side* whose witness uses *row*?"""
+        for atom in plan.lhs_atoms_by_relation.get(row.relation, ()):
+            bound = atom.match(row, self._seed)
+            if bound is None:
+                continue
+            for assignment, witness in plan.lhs.find_matches(side, bound):
+                if row not in witness:
+                    continue
+                if not plan.rhs.exists_match(side, plan.exported(assignment)):
+                    return True
+        return False
+
+    def _rhs_existence_flip(
+        self,
+        plan: CompiledTgd,
+        row: Tuple,
+        search_view: DatabaseView,
+        violating_view: DatabaseView,
+        satisfied_view: DatabaseView,
+    ) -> bool:
+        """Does *row* flip the RHS existence check of some common LHS match?
+
+        The flipping RHS match must use *row*, so its frontier bindings agree
+        with ``atom.match(row)`` for some RHS atom; LHS matches consistent
+        with those bindings are enumerated on *search_view* and checked for
+        "no RHS match on *violating_view*, some RHS match on *satisfied_view*"
+        — the only way a match present on both sides changes its answer-row
+        status.
+        """
+        frontier = plan.frontier_variables
+        for atom in plan.rhs_atoms_by_relation.get(row.relation, ()):
+            bound = atom.match(row)
+            if bound is None:
+                continue
+            frontier_bound = {
+                variable: value
+                for variable, value in bound.items()
+                if variable in frontier
+            }
+            merged = _merge_bindings(self._seed, frontier_bound)
+            if merged is None:
+                continue
+            for assignment, _ in plan.lhs.find_matches(search_view, merged):
+                exported = plan.exported(assignment)
+                if plan.rhs.exists_match(violating_view, exported):
+                    continue
+                if plan.rhs.exists_match(satisfied_view, exported):
+                    return True
+        return False
 
     def evaluation_cost(self) -> int:
         # One join over the LHS plus, per candidate, an existence check on the
@@ -106,8 +234,9 @@ def seeds_for_lhs_write(tgd: Tgd, row: Tuple) -> List[Assignment]:
     violation query can be seeded with the bindings the tuple induces.  One
     seed per LHS atom the row matches (self-joins give several).
     """
+    plan = get_plan(tgd)
     seeds: List[Assignment] = []
-    for atom in tgd.lhs:
+    for atom in plan.lhs_atoms_by_relation.get(row.relation, ()):
         assignment = atom.match(row)
         if assignment is not None:
             seeds.append(assignment)
@@ -122,9 +251,10 @@ def seeds_for_rhs_write(tgd: Tgd, row: Tuple) -> List[Assignment]:
     seeded with the *frontier-variable* bindings the deleted tuple induces
     through the RHS atom (existential positions impose no binding on the LHS).
     """
-    frontier = tgd.frontier_variables()
+    plan = get_plan(tgd)
+    frontier = plan.frontier_variables
     seeds: List[Assignment] = []
-    for atom in tgd.rhs:
+    for atom in plan.rhs_atoms_by_relation.get(row.relation, ()):
         assignment = atom.match(row)
         if assignment is None:
             continue

@@ -13,14 +13,39 @@ storage:
 
 Versions are numbered by a single global sequence, which realizes the paper's
 "largest number" rule while keeping per-update rollback cheap.
+
+The write log is *indexed*: besides the global, seq-ordered log the store
+partitions logged writes by writing priority, by (priority, relation) and by
+(priority, labeled null touched).  The dependency trackers (Section 5.1) are
+the hot consumers — instead of filtering the full log per read query they ask
+for "writes by update *j* touching relations R / null x", which is what turns
+tracker cost from O(run length) per read into O(relevant writes).
+
+Long-running callers additionally *compact* the store below the scheduler's
+commit watermark (:meth:`VersionedDatabase.compact_below`): committed version
+chains collapse to their newest committed version, committed log entries are
+dropped, and the content indexes are pruned, so a service session's storage
+footprint tracks the in-flight set rather than everything ever served.
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right
 from collections import defaultdict
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple as PyTuple
+from heapq import merge as heap_merge
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple as PyTuple,
+)
 
 from ..core.schema import DatabaseSchema, SchemaError
 from ..core.terms import DataTerm, LabeledNull
@@ -52,13 +77,17 @@ class VersionedTuple:
     versions: List[Version] = field(default_factory=list)
 
     def visible_version(self, priority: int) -> Optional[Version]:
-        """The version visible to an update numbered *priority* (or ``None``)."""
-        visible: Optional[Version] = None
-        for version in self.versions:
+        """The version visible to an update numbered *priority* (or ``None``).
+
+        Versions are kept seq-sorted (appends use a monotone global sequence
+        and compaction preserves order), so the newest-first scan returns at
+        the *first* version the priority may see instead of scanning the
+        whole chain.
+        """
+        for version in reversed(self.versions):
             if version.priority <= priority:
-                if visible is None or version.seq > visible.seq:
-                    visible = version
-        return visible
+                return version
+        return None
 
     def visible_content(self, priority: int) -> Optional[Tuple]:
         """The visible tuple content, or ``None`` when invisible/deleted."""
@@ -78,6 +107,44 @@ class VersionedWrite:
     write: Write
 
 
+class WriteLogView(SequenceABC):
+    """A read-only, copy-free window onto a list of logged writes.
+
+    :meth:`VersionedDatabase.write_log` and :meth:`VersionedDatabase.writes_by`
+    used to copy their backing lists on every call — an O(n) allocation per
+    *read query* once the trackers got involved.  This view exposes the same
+    sequence protocol (iteration, indexing, ``len``) without the copy; it also
+    compares equal to plain sequences so existing call sites keep working.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Sequence[VersionedWrite]):
+        self._entries = entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index):
+        return self._entries[index]
+
+    def __iter__(self) -> Iterator[VersionedWrite]:
+        return iter(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, WriteLogView):
+            return list(self._entries) == list(other._entries)
+        if isinstance(other, (list, tuple)):
+            return list(self._entries) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return "WriteLogView({!r})".format(list(self._entries))
+
+
+_EMPTY_LOG: PyTuple[VersionedWrite, ...] = ()
+
+
 #: Priority value that sees every committed and uncommitted version.
 LATEST = float("inf")
 
@@ -94,6 +161,14 @@ class VersionedDatabase:
         self._tid_counter = itertools.count(1)
         self._seq_counter = itertools.count(1)
         self._write_log: List[VersionedWrite] = []
+        # Indexed write log: by priority, by (priority, relation) and by
+        # (priority, touched null), each in seq order.  ``_log_seqs`` mirrors
+        # ``_log_by_priority`` with the bare seq numbers so trackers can
+        # bisect for "position of this write within update j's log".
+        self._log_by_priority: Dict[int, List[VersionedWrite]] = {}
+        self._log_seqs: Dict[int, List[int]] = {}
+        self._log_by_relation: Dict[int, Dict[str, List[VersionedWrite]]] = {}
+        self._log_by_null: Dict[int, Dict[LabeledNull, List[VersionedWrite]]] = {}
         # Indexes over *every version's* content, keyed to tuple identities.
         # They over-approximate (a tid stays indexed under contents of old
         # versions and may outlive a rollback), so views re-check the visible
@@ -102,6 +177,12 @@ class VersionedDatabase:
         # on the single-version store.
         self._value_index: Dict[PyTuple[str, int, DataTerm], Set[int]] = defaultdict(set)
         self._null_index: Dict[LabeledNull, Set[int]] = defaultdict(set)
+        #: Monotone stamp bumped by every mutation (write, rollback,
+        #: compaction).  Memoizing consumers — the PRECISE tracker's delta
+        #: verdict cache — key their entries to it.
+        self._mutation_stamp = 0
+        #: Number of compaction passes performed (introspection).
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # Loading and basic accessors
@@ -122,13 +203,69 @@ class VersionedDatabase:
             for row in view.tuples(relation):
                 self._new_tuple(row, priority, log_write=None)
 
-    def write_log(self) -> List[VersionedWrite]:
-        """The full write log, oldest first."""
-        return list(self._write_log)
+    def write_log(self) -> WriteLogView:
+        """The full write log, oldest first (a read-only, copy-free view)."""
+        return WriteLogView(self._write_log)
 
-    def writes_by(self, priority: int) -> List[VersionedWrite]:
-        """All logged writes performed by the update numbered *priority*."""
-        return [entry for entry in self._write_log if entry.priority == priority]
+    def writes_by(self, priority: int) -> WriteLogView:
+        """All logged writes by the update numbered *priority* (O(1) lookup)."""
+        return WriteLogView(self._log_by_priority.get(priority, _EMPTY_LOG))
+
+    def write_count_by(self, priority: int) -> int:
+        """Number of logged writes by the update numbered *priority*."""
+        return len(self._log_by_priority.get(priority, _EMPTY_LOG))
+
+    def writes_by_touching_relation(
+        self, priority: int, relation: str
+    ) -> Sequence[VersionedWrite]:
+        """Writes by *priority* into *relation*, in seq order (O(1) lookup)."""
+        buckets = self._log_by_relation.get(priority)
+        if not buckets:
+            return _EMPTY_LOG
+        bucket = buckets.get(relation)
+        if bucket is None:
+            return _EMPTY_LOG
+        return WriteLogView(bucket)
+
+    def writes_by_touching_relations(
+        self, priority: int, relations: Iterable[str]
+    ) -> Sequence[VersionedWrite]:
+        """Writes by *priority* into any of *relations*, merged in seq order."""
+        buckets = self._log_by_relation.get(priority)
+        if not buckets:
+            return _EMPTY_LOG
+        selected = [buckets[name] for name in relations if name in buckets]
+        if not selected:
+            return _EMPTY_LOG
+        if len(selected) == 1:
+            return WriteLogView(selected[0])
+        return list(heap_merge(*selected, key=lambda entry: entry.seq))
+
+    def writes_by_touching_null(
+        self, priority: int, null: LabeledNull
+    ) -> Sequence[VersionedWrite]:
+        """Writes by *priority* whose touched rows contain *null*, in seq order."""
+        buckets = self._log_by_null.get(priority)
+        if not buckets:
+            return _EMPTY_LOG
+        bucket = buckets.get(null)
+        if bucket is None:
+            return _EMPTY_LOG
+        return WriteLogView(bucket)
+
+    def log_position(self, priority: int, seq: int) -> int:
+        """1-based rank of the write numbered *seq* within *priority*'s log.
+
+        The PRECISE tracker uses this to reconstruct, in O(log n), how many of
+        an update's writes a full scan would have examined before reaching
+        *seq* — which is what keeps its ``cost_units`` accounting identical to
+        the historical scan while the actual work is index-driven.
+        """
+        return bisect_right(self._log_seqs.get(priority, []), seq)
+
+    def mutation_stamp(self) -> int:
+        """Monotone counter bumped by every write, rollback and compaction."""
+        return self._mutation_stamp
 
     # ------------------------------------------------------------------
     # Views
@@ -182,6 +319,21 @@ class VersionedDatabase:
         for null in row.null_set():
             self._null_index[null].add(tid)
 
+    def _append_log(self, entry: VersionedWrite) -> None:
+        self._write_log.append(entry)
+        priority = entry.priority
+        self._log_by_priority.setdefault(priority, []).append(entry)
+        self._log_seqs.setdefault(priority, []).append(entry.seq)
+        relation_buckets = self._log_by_relation.setdefault(priority, {})
+        relation_buckets.setdefault(entry.write.relation, []).append(entry)
+        touched_nulls: Set[LabeledNull] = set()
+        for row in entry.write.rows_touched():
+            touched_nulls.update(row.null_set())
+        if touched_nulls:
+            null_buckets = self._log_by_null.setdefault(priority, {})
+            for null in touched_nulls:
+                null_buckets.setdefault(null, []).append(entry)
+
     def _new_tuple(
         self, row: Tuple, priority: int, log_write: Optional[Write]
     ) -> VersionedWrite:
@@ -193,16 +345,28 @@ class VersionedDatabase:
         self._tuples[tid] = record
         self._by_relation[row.relation].add(tid)
         self._index_content(tid, row)
+        self._mutation_stamp += 1
         logged = VersionedWrite(
             seq=seq, priority=priority, tid=tid, write=log_write or Write(WriteKind.INSERT, row)
         )
         if log_write is not None:
-            self._write_log.append(logged)
+            self._append_log(logged)
         return logged
 
     def _find_visible_tid(self, row: Tuple, priority: int) -> Optional[int]:
-        for tid in self._by_relation.get(row.relation, ()):  # pragma: no branch
-            if self._tuples[tid].visible_content(priority) == row:
+        # Any identity whose visible content equals *row* must be indexed
+        # under the first value of some version equal to *row* — so the first
+        # position's bucket is a complete (over-approximate) candidate set,
+        # far smaller than the whole relation.
+        if row.values:
+            candidates: Iterable[int] = self._value_index.get(
+                (row.relation, 0, row.values[0]), ()
+            )
+        else:  # pragma: no cover - zero-arity relations do not occur
+            candidates = self._by_relation.get(row.relation, ())
+        for tid in tuple(candidates):
+            record = self._tuples.get(tid)
+            if record is not None and record.visible_content(priority) == row:
                 return tid
         return None
 
@@ -219,8 +383,9 @@ class VersionedDatabase:
         self._tuples[tid].versions.append(
             Version(seq=seq, priority=priority, content=None)
         )
+        self._mutation_stamp += 1
         logged = VersionedWrite(seq=seq, priority=priority, tid=tid, write=write)
-        self._write_log.append(logged)
+        self._append_log(logged)
         return logged
 
     def _modify(self, write: Write, priority: int) -> Optional[VersionedWrite]:
@@ -234,8 +399,9 @@ class VersionedDatabase:
             Version(seq=seq, priority=priority, content=write.row)
         )
         self._index_content(tid, write.row)
+        self._mutation_stamp += 1
         logged = VersionedWrite(seq=seq, priority=priority, tid=tid, write=write)
-        self._write_log.append(logged)
+        self._append_log(logged)
         return logged
 
     # ------------------------------------------------------------------
@@ -245,13 +411,22 @@ class VersionedDatabase:
         """Undo every write performed by the update numbered *priority*.
 
         Returns the removed log entries (newest first).  Tuple identities
-        created by the update disappear entirely.
+        created by the update disappear entirely.  The indexed log tells us
+        exactly which tuples the update touched, so version and index
+        maintenance is proportional to the update's own writes (not to the
+        whole store); dropping the entries from the global log is one filter
+        pass over it, which commit-time compaction keeps bounded by the
+        in-flight writes rather than run length.
         """
-        removed = [entry for entry in self._write_log if entry.priority == priority]
-        self._write_log = [
-            entry for entry in self._write_log if entry.priority != priority
-        ]
-        for tid, record in list(self._tuples.items()):
+        removed = self._log_by_priority.get(priority)
+        if not removed:
+            return []
+        self._mutation_stamp += 1
+        self._drop_priority_log(priority)
+        for tid in {entry.tid for entry in removed}:
+            record = self._tuples.get(tid)
+            if record is None:
+                continue
             rolled_back = [
                 version for version in record.versions if version.priority == priority
             ]
@@ -263,31 +438,153 @@ class VersionedDatabase:
             if not record.versions:
                 # The identity disappears entirely: purge its index entries so
                 # an abort-heavy service does not grow dead tids in the
-                # chase-hot buckets.  (Partially rolled-back tids keep their
-                # over-approximate entries; views re-check visibility anyway.)
+                # chase-hot buckets.
                 del self._tuples[tid]
                 self._by_relation[record.relation].discard(tid)
-                self._unindex_tid(tid, rolled_back)
+            # Prune index entries for the removed contents either way — values
+            # no remaining version carries must not keep the tid in a bucket,
+            # or the over-approximate indexes grow without bound in service
+            # mode (every abort would leave a permanent residue).
+            self._prune_index_entries(tid, rolled_back, record.versions)
         return list(reversed(removed))
 
-    def _unindex_tid(self, tid: int, versions: Iterable[Version]) -> None:
-        for version in versions:
+    def _drop_priority_log(self, priority: int) -> None:
+        """Remove every log entry of *priority* from the global and bucket logs."""
+        self._drop_priorities_log((priority,))
+
+    def _drop_priorities_log(self, priorities: Iterable[int]) -> None:
+        """Drop several priorities' log entries in one pass over the log."""
+        dropped = set(priorities)
+        # In-place so outstanding WriteLogViews stay live windows onto the
+        # log rather than going stale against a rebound list; one filter pass
+        # regardless of how many priorities commit together.
+        self._write_log[:] = [
+            entry for entry in self._write_log if entry.priority not in dropped
+        ]
+        for priority in dropped:
+            self._log_by_priority.pop(priority, None)
+            self._log_seqs.pop(priority, None)
+            self._log_by_relation.pop(priority, None)
+            self._log_by_null.pop(priority, None)
+
+    def _prune_index_entries(
+        self,
+        tid: int,
+        removed: Iterable[Version],
+        remaining: Iterable[Version],
+    ) -> None:
+        """Drop *tid* from index buckets no remaining version justifies."""
+        keep_values: Set[PyTuple[str, int, DataTerm]] = set()
+        keep_nulls: Set[LabeledNull] = set()
+        for version in remaining:
+            row = version.content
+            if row is None:
+                continue
+            for position, value in enumerate(row.values):
+                keep_values.add((row.relation, position, value))
+            keep_nulls.update(row.null_set())
+        for version in removed:
             row = version.content
             if row is None:
                 continue
             for position, value in enumerate(row.values):
                 key = (row.relation, position, value)
+                if key in keep_values:
+                    continue
                 bucket = self._value_index.get(key)
                 if bucket is not None:
                     bucket.discard(tid)
                     if not bucket:
                         del self._value_index[key]
             for null in row.null_set():
+                if null in keep_nulls:
+                    continue
                 bucket = self._null_index.get(null)
                 if bucket is not None:
                     bucket.discard(tid)
                     if not bucket:
                         del self._null_index[null]
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact_below(
+        self, watermark: int, priorities: Optional[Iterable[int]] = None
+    ) -> int:
+        """Compact version chains and the write log below *watermark*.
+
+        The caller guarantees that every priority at or below *watermark* is
+        committed (or fully rolled back) and will never read or be rolled back
+        again — the optimistic scheduler's commit watermark provides exactly
+        this.  Compaction then:
+
+        * collapses, per touched tuple, all versions with priority ≤
+          *watermark* into the newest one (visibility for any priority ≥
+          *watermark* is unchanged — the newest committed version is the only
+          one such a reader could ever see);
+        * removes tuples whose committed state is a deletion and that carry no
+          uncommitted versions, pruning their content-index entries;
+        * drops the committed priorities' write-log entries and log indexes.
+
+        *priorities* limits the pass to the given (newly committed) updates,
+        so the incremental commit-time call touches only their tuples and
+        index entries (plus one shared filter pass over the — compaction-
+        bounded — global log); when omitted, every logged priority ≤
+        *watermark* is compacted.  Returns the number of versions removed.
+        """
+        if priorities is None:
+            targets = [
+                priority
+                for priority in self._log_by_priority
+                if priority <= watermark
+            ]
+        else:
+            targets = [
+                priority
+                for priority in priorities
+                if priority <= watermark and priority in self._log_by_priority
+            ]
+        if not targets:
+            return 0
+        touched_tids: Set[int] = set()
+        for priority in targets:
+            touched_tids.update(
+                entry.tid for entry in self._log_by_priority[priority]
+            )
+        removed_versions = 0
+        for tid in touched_tids:
+            record = self._tuples.get(tid)
+            if record is None:
+                continue
+            below = [v for v in record.versions if v.priority <= watermark]
+            if not below:
+                continue
+            newest_below = max(below, key=lambda version: version.seq)
+            above = [v for v in record.versions if v.priority > watermark]
+            if newest_below.content is None and not above:
+                # Committed deletion with no uncommitted resurrection: the
+                # identity is dead for every possible future reader.
+                removed_versions += len(record.versions)
+                del self._tuples[tid]
+                self._by_relation[record.relation].discard(tid)
+                self._prune_index_entries(tid, record.versions, ())
+                continue
+            if len(below) == 1:
+                continue
+            dropped = [v for v in below if v is not newest_below]
+            keep_seqs = {newest_below.seq}
+            keep_seqs.update(version.seq for version in above)
+            # Filtering the original list keeps the chain seq-sorted, which
+            # the newest-first visibility scan relies on.
+            record.versions = [
+                version for version in record.versions if version.seq in keep_seqs
+            ]
+            removed_versions += len(dropped)
+            self._prune_index_entries(tid, dropped, record.versions)
+        self._drop_priorities_log(targets)
+        self._mutation_stamp += 1
+        self.compactions += 1
+        return removed_versions
 
     # ------------------------------------------------------------------
     # Introspection
@@ -300,9 +597,19 @@ class VersionedDatabase:
         """Number of tuple identities stored (visible or not)."""
         return len(self._tuples)
 
+    def log_size(self) -> int:
+        """Number of entries currently in the write log."""
+        return len(self._write_log)
+
     def priorities_in_log(self) -> Set[int]:
         """Every update priority that has at least one logged write."""
-        return {entry.priority for entry in self._write_log}
+        return set(self._log_by_priority)
+
+    def index_entry_count(self) -> int:
+        """Total (tid, bucket) memberships across the content indexes."""
+        return sum(len(bucket) for bucket in self._value_index.values()) + sum(
+            len(bucket) for bucket in self._null_index.values()
+        )
 
 
 class VersionedView(DatabaseView):
@@ -335,10 +642,10 @@ class VersionedView(DatabaseView):
                 yield content
 
     def contains(self, row: Tuple) -> bool:
-        for content in self.tuples(row.relation):
-            if content == row:
-                return True
-        return False
+        # Exact containment through the value index: candidates are the
+        # identities indexed under the row's first value; each is re-checked
+        # against its visible content (the index over-approximates).
+        return self._store._find_visible_tid(row, self._priority) is not None
 
     # ------------------------------------------------------------------
     # Index-accelerated correction queries (the chase hot path).

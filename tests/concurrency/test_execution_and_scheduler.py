@@ -271,6 +271,48 @@ class TestOptimisticScheduler:
         reference = serial.run(operations)
         assert databases_isomorphic(scheduler.final_database(), reference)
 
+    def test_commit_compaction_preserves_results_and_empties_the_log(self):
+        database = travel_database()
+        mappings = travel_mappings()
+
+        def run_with(compact):
+            store = _fresh_store()
+            scheduler = OptimisticScheduler(
+                store=store,
+                mappings=mappings,
+                tracker=PreciseTracker(),
+                oracle=RandomOracle(seed=6),
+                null_factory=NullFactory(prefix="c"),
+                compact_committed=compact,
+            )
+            scheduler.submit_all(self._operations())
+            statistics = scheduler.run()
+            return store, scheduler, statistics
+
+        compacted_store, compacted, with_compaction = run_with(True)
+        plain_store, plain, without_compaction = run_with(False)
+        # Compaction must not change any decision: identical statistics and
+        # identical final contents.
+        assert with_compaction.aborts == without_compaction.aborts
+        assert (
+            with_compaction.cascading_abort_requests
+            == without_compaction.cascading_abort_requests
+        )
+        assert with_compaction.tracker_cost_units == without_compaction.tracker_cost_units
+        compacted_final = compacted.final_database()
+        plain_final = plain.final_database()
+        for relation in compacted_final.relations():
+            assert set(compacted_final.tuples(relation)) == set(
+                plain_final.tuples(relation)
+            )
+        # Everything committed, so the compacting store's log is empty and
+        # its version chains are collapsed; the plain store keeps history.
+        assert compacted_store.log_size() == 0
+        assert plain_store.log_size() > 0
+        assert compacted_store.version_count() <= plain_store.version_count()
+        assert compacted_store.compactions > 0
+        assert satisfies_all(mappings, compacted.final_database())
+
     def test_committed_updates_are_never_aborted(self):
         database = travel_database()
         mappings = travel_mappings()

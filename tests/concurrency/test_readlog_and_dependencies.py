@@ -12,7 +12,7 @@ from repro.concurrency.dependencies import (
 )
 from repro.concurrency.readlog import ReadLog
 from repro.core.terms import Constant, LabeledNull, Variable
-from repro.core.tuples import make_tuple
+from repro.core.tuples import Tuple, make_tuple
 from repro.core.writes import insert
 from repro.query.correction_query import MoreSpecificQuery, NullOccurrenceQuery
 from repro.query.violation_query import ViolationQuery
@@ -139,6 +139,76 @@ class TestTrackers:
         tracker.promote(5)
         precise_result = tracker.dependencies(sigma2_query, 5, store, store.view_for(5), {1, 3, 5})
         assert precise_result <= coarse_result
+
+    def test_hybrid_folds_both_sub_tracker_counters(self, conflict_setup):
+        store, mappings = conflict_setup
+        tracker = HybridTracker()
+        query = ViolationQuery(mappings.by_name("sigma3"))
+        tracker.dependencies(query, 5, store, store.view_for(5), {1, 3, 5})
+        tracker.promote(5)
+        tracker.dependencies(query, 5, store, store.view_for(5), {1, 3, 5})
+        # One COARSE read plus one PRECISE read: both counters must aggregate
+        # the sub-trackers (reads_processed used to count only the wrapper).
+        assert tracker.reads_processed == 2
+        assert tracker.reads_processed == (
+            tracker._coarse.reads_processed + tracker._precise.reads_processed
+        )
+        assert tracker.cost_units == (
+            tracker._coarse.cost_units + tracker._precise.cost_units
+        )
+        assert tracker._coarse.reads_processed == 1
+        assert tracker._precise.reads_processed == 1
+
+    def test_indexed_trackers_match_full_log_scan(self, conflict_setup):
+        """COARSE/PRECISE on the indexed log ≡ the historical full-log filter."""
+        store, mappings = conflict_setup
+        # Add more writers, including nulls, to give the indexes something
+        # real to partition.
+        null = LabeledNull("zz")
+        store.apply_write(
+            insert(Tuple("T", (null, Constant("Tours R Us"), Constant("Lyon")))),
+            priority=4,
+        )
+        store.apply_write(insert(make_tuple("C", "Lyon")), priority=6)
+        abortable = {1, 3, 4, 6, 9}
+        queries = [ViolationQuery(tgd) for tgd in mappings]
+        queries.append(
+            MoreSpecificQuery(
+                make_tuple("T", LabeledNull("a"), LabeledNull("b"), LabeledNull("c"))
+            )
+        )
+        queries.append(NullOccurrenceQuery(null))
+        queries.append(NullOccurrenceQuery(LabeledNull("unused")))
+        for reader in (2, 5, 9, 10):
+            view = store.view_for(reader)
+            for query in queries:
+                coarse, precise = CoarseTracker(), PreciseTracker()
+                coarse_deps = coarse.dependencies(query, reader, store, view, abortable)
+                precise_deps = precise.dependencies(query, reader, store, view, abortable)
+                # Reference: the historical scan over the full write log.
+                legacy_coarse = set()
+                legacy_precise = set()
+                legacy_coarse_cost = 0
+                legacy_precise_cost = 0
+                for entry in store.write_log():
+                    if entry.priority >= reader or entry.priority not in abortable:
+                        continue
+                    legacy_coarse_cost += 1
+                    if query.kind in ("more-specific", "null-occurrence"):
+                        if query.might_be_affected_by(entry.write):
+                            legacy_coarse.add(entry.priority)
+                    elif entry.write.relation in query.relations():
+                        legacy_coarse.add(entry.priority)
+                    if entry.priority in legacy_precise:
+                        legacy_precise_cost += 1
+                    else:
+                        legacy_precise_cost += 2 * query.evaluation_cost()
+                        if query.affected_by(entry.write, view):
+                            legacy_precise.add(entry.priority)
+                assert coarse_deps == legacy_coarse
+                assert precise_deps == legacy_precise
+                assert coarse.cost_units == legacy_coarse_cost
+                assert precise.cost_units == legacy_precise_cost
 
     def test_make_tracker_names(self):
         assert isinstance(make_tracker("naive"), NaiveTracker)

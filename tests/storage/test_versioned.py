@@ -82,6 +82,44 @@ class TestWriteLogAndRollback:
         assert store.writes_by(2)[0].write.row == make_tuple("P", "b")
         assert store.priorities_in_log() == {1, 2}
 
+    def test_write_log_is_a_copy_free_live_view(self, store):
+        view = store.write_log()
+        assert len(view) == 0
+        store.apply_write(insert(make_tuple("P", "a")), priority=1)
+        # The view is a read-only window onto the live log, not a snapshot
+        # copy: it sees later appends and rejects mutation.
+        assert len(view) == 1
+        assert list(view) == list(store.write_log())
+        assert view[0].priority == 1
+        assert view == store.write_log()
+        with pytest.raises(AttributeError):
+            view.append("nope")
+        # The window stays live across rollback too (the log is mutated in
+        # place, not rebound): the rolled-back entry disappears from the
+        # previously obtained view as well.
+        store.apply_write(insert(make_tuple("P", "b")), priority=2)
+        store.rollback(1)
+        assert [entry.priority for entry in view] == [2]
+        assert view == store.write_log()
+
+    def test_writes_by_is_an_indexed_lookup(self, store):
+        store.apply_write(insert(make_tuple("P", "a")), priority=1)
+        store.apply_write(insert(make_tuple("P", "b")), priority=2)
+        store.apply_write(insert(make_tuple("Q", "c", "d")), priority=2)
+        assert [entry.write.row for entry in store.writes_by(2)] == [
+            make_tuple("P", "b"),
+            make_tuple("Q", "c", "d"),
+        ]
+        assert store.write_count_by(2) == 2
+        assert store.write_count_by(9) == 0
+        assert len(store.writes_by(9)) == 0
+        assert [e.write.row for e in store.writes_by_touching_relation(2, "Q")] == [
+            make_tuple("Q", "c", "d")
+        ]
+        merged = store.writes_by_touching_relations(2, {"P", "Q"})
+        assert [entry.seq for entry in merged] == sorted(entry.seq for entry in merged)
+        assert len(merged) == 2
+
     def test_rollback_removes_versions_and_log_entries(self, store):
         store.apply_write(insert(make_tuple("P", "keep")), priority=1)
         store.apply_write(insert(make_tuple("P", "drop")), priority=2)
