@@ -1,0 +1,139 @@
+"""Federation throughput benchmark: multi-peer exchange end to end.
+
+Runs a generated multi-peer scenario through the federated closed-loop
+driver, measures committed updates (user submissions plus exchange-envelope
+updates) per second and the exchange traffic breakdown, verifies differential
+convergence against the single-repository chase, and merges a ``federation``
+entry into ``BENCH_scaling.json`` so the perf trajectory file carries the
+multi-peer measurement alongside the tracker one (CI uploads the file as an
+artifact from the non-blocking benchmarks job).
+
+Scales with ``REPRO_BENCH_SCALE`` (tiny/small/paper) like the other benches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.oracle import AlwaysExpandOracle
+from repro.federation import (
+    FederatedNetwork,
+    Transport,
+    check_convergence,
+    reference_chase,
+)
+from repro.workload.federated_loop import (
+    FederatedClientSpec,
+    FederatedClosedLoopDriver,
+)
+from repro.workload.federation_gen import (
+    FederationScenarioConfig,
+    generate_federation_environment,
+)
+
+SCALES = {
+    "tiny": FederationScenarioConfig(
+        num_peers=3, cross_mappings=4, operations_per_peer=4, initial_tuples=16, seed=0
+    ),
+    "small": FederationScenarioConfig(
+        num_peers=4,
+        cross_mappings=8,
+        operations_per_peer=10,
+        initial_tuples=40,
+        seed=0,
+    ),
+    "paper": FederationScenarioConfig(
+        num_peers=5,
+        cross_mappings=12,
+        relations_per_peer=6,
+        operations_per_peer=25,
+        initial_tuples=80,
+        seed=0,
+    ),
+}
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_scaling.json",
+)
+
+
+def test_federation_throughput():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    config = SCALES.get(scale, SCALES["small"])
+    environment = generate_federation_environment(config)
+    network = FederatedNetwork(
+        environment.schema,
+        environment.initial,
+        list(environment.mappings),
+        environment.ownership,
+        transport=Transport(delay=1),
+    )
+    specs = [
+        FederatedClientSpec(peer=peer, name="client@{}".format(peer), operations=list(ops))
+        for peer, ops in environment.operations.items()
+    ]
+    driver = FederatedClosedLoopDriver(network, specs, answer_delay=1)
+    started = time.perf_counter()
+    report = driver.run(max_rounds=20_000)
+    wall = time.perf_counter() - started
+    assert report.all_done and report.drained
+
+    reference = reference_chase(
+        environment.schema,
+        environment.initial,
+        list(environment.mappings),
+        environment.all_operations(),
+        oracle=AlwaysExpandOracle(),
+    )
+    convergence = check_convergence(network, reference)
+    assert convergence.equivalent, convergence.summary()
+
+    metrics = network.metrics()
+    committed = sum(
+        metrics["peer_{}_committed".format(peer)] for peer in network.peer_names()
+    )
+    entry = {
+        "scale": scale,
+        "peers": config.num_peers,
+        "user_operations": report.submitted,
+        "rounds": report.rounds,
+        "wall_seconds": wall,
+        "committed_updates_total": committed,
+        "committed_per_second": committed / max(wall, 1e-9),
+        "transport_sent": metrics["transport_sent"],
+        "firings_delivered": metrics["firings_delivered"],
+        "updates_routed": metrics["updates_routed"],
+        "questions_routed": metrics["questions_routed"],
+        "convergence_equivalent": convergence.equivalent,
+        "federation_aborts": convergence.federation_aborts,
+    }
+
+    # Merge into the trajectory file next to the tracker measurement.
+    recorded = {}
+    if os.path.exists(RESULT_PATH):
+        try:
+            with open(RESULT_PATH) as handle:
+                recorded = json.load(handle)
+        except ValueError:
+            recorded = {}
+    recorded["federation"] = entry
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(recorded, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(
+        "\nfederation bench ({} peers, {} scale): {} user ops -> {} committed "
+        "updates in {:.2f}s over {} rounds ({:.0f} commits/s, {} envelopes)".format(
+            config.num_peers,
+            scale,
+            report.submitted,
+            committed,
+            wall,
+            report.rounds,
+            entry["committed_per_second"],
+            metrics["transport_sent"],
+        )
+    )

@@ -186,8 +186,18 @@ def test_precise_tracker_scaling():
         "wall_speedup": wall_speedup,
         "semantics_match": True,
     }
+    # Merge into the trajectory file: overwrite only this bench's keys so
+    # entries recorded by other benches (e.g. "federation") survive.
+    merged = {}
+    if os.path.exists(RESULT_PATH):
+        try:
+            with open(RESULT_PATH) as handle:
+                merged = json.load(handle)
+        except ValueError:
+            merged = {}
+    merged.update(report)
     with open(RESULT_PATH, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
+        json.dump(merged, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(
         "\nPRECISE tracker overhead at {}x scale, {} mappings: "

@@ -8,15 +8,25 @@ the answer to such a query, the reader is in *direct conflict* and must abort.
 The check is identical for all cascading-abort algorithms — NAIVE, COARSE and
 PRECISE differ only in how the *cascade* from an abort is determined — so its
 cost does not skew the comparison between them.
+
+:func:`find_direct_conflicts` consumes the read log's *indexed* buckets (by
+read relation and by watched null) instead of scanning every read of every
+higher-numbered update per write.  Records the index skips are exactly those
+whose ``might_be_affected_by`` pre-filter is false, so they are charged
+arithmetically — one ``pairs_checked`` and one ``cost_units`` each, what the
+historical full scan spent on them — and the report stays bit-identical to
+:func:`find_direct_conflicts_scan` while the wall-clock work drops from
+O(logged reads) to O(relevant reads) per write.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set
+from typing import Dict, Sequence, Set
 
+from ..core.terms import LabeledNull
 from ..storage.versioned import VersionedDatabase, VersionedWrite
-from .readlog import ReadLog, ReadRecord
+from .readlog import ReadLog
 
 
 @dataclass
@@ -45,6 +55,77 @@ def find_direct_conflicts(
     query ``q`` of an abortable update ``i > j``: if ``w`` changes the result
     of ``q`` (evaluated on ``i``'s own view, where ``w`` is visible), then
     ``i`` is in direct conflict and is reported for abortion.
+
+    Only the index-selected candidate records are actually walked; for the
+    rest the pre-filter verdict (false) is known from the bucket structure,
+    so their pairs/cost contributions are added arithmetically.
+    """
+    report = ConflictReport()
+    if not writes:
+        return report
+    views: Dict[int, object] = {}
+    for logged in writes:
+        writer = logged.priority
+        write = logged.write
+        touched_nulls: Set[LabeledNull] = set()
+        for row in write.rows_touched():
+            touched_nulls.update(row.null_set())
+        for reader in read_log.readers_above(writer):
+            if reader not in abortable or reader == writer:
+                continue
+            if reader in report.direct_conflicts:
+                # Already condemned by an earlier write in this batch; the
+                # full scan skips a condemned reader's records without
+                # counting them, so there is nothing to charge.
+                continue
+            total = read_log.record_count(reader)
+            accounted = 0  # records (by rank) already charged for this pair
+            condemned = False
+            for rank, record in read_log.candidate_records(
+                reader, write.relation, touched_nulls
+            ):
+                # The records skipped since the last candidate all fail the
+                # pre-filter: one pair and one cost unit each, just as the
+                # full scan would have spent.
+                gap = rank - accounted
+                report.pairs_checked += gap
+                report.cost_units += gap
+                accounted = rank
+                report.pairs_checked += 1
+                accounted += 1
+                query = record.query
+                if not query.might_be_affected_by(write):
+                    report.cost_units += 1
+                    continue
+                if reader not in views:
+                    views[reader] = store.view_for(reader)
+                view = views[reader]
+                report.delta_evaluations += 1
+                report.cost_units += 2 * query.evaluation_cost()
+                if query.affected_by(write, view):
+                    report.direct_conflicts.add(reader)
+                    condemned = True
+                    break
+            if not condemned:
+                # Trailing records past the last candidate: all pre-filter
+                # misses, charged like the scan would have.
+                remaining = total - accounted
+                report.pairs_checked += remaining
+                report.cost_units += remaining
+    return report
+
+
+def find_direct_conflicts_scan(
+    writes: Sequence[VersionedWrite],
+    read_log: ReadLog,
+    store: VersionedDatabase,
+    abortable: Set[int],
+) -> ConflictReport:
+    """The historical full-scan conflict check, kept as a differential oracle.
+
+    Semantically (and counter-for-counter) identical to
+    :func:`find_direct_conflicts`; tests run both over the same inputs to pin
+    the indexed implementation to the original.
     """
     report = ConflictReport()
     if not writes:

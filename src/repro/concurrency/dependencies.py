@@ -177,38 +177,67 @@ class PreciseTracker(DependencyTracker):
 
     name = "PRECISE"
 
+    #: Memo entries are pruned wholesale past this size.  The per-relation
+    #: invalidation never deletes entries eagerly (stale ones are simply
+    #: re-proved on next lookup), so an explicit bound keeps a long-running
+    #: service's memory flat; the limit is far above the working set of one
+    #: scheduler pump.
+    _MEMO_LIMIT = 1 << 16
+
     def __init__(self) -> None:
         super().__init__()
-        # Delta-verdict memo: (reader, query, write seq) -> bool, valid for a
-        # single store mutation stamp.  Within one chase step the same query
-        # is re-recorded several times (queue refresh, request building), so
-        # the same (query, write) delta tests recur against an unchanged
-        # store; memoizing them is free of semantic risk because any write,
-        # rollback or compaction bumps the stamp and clears the memo.
-        self._memo: Dict[PyTuple[int, ReadQuery, int], bool] = {}
+        # Delta-verdict memo: (reader, query, write seq) -> (verdict, token).
+        # Within one chase step the same query is re-recorded several times
+        # (queue refresh, request building), so the same (query, write) delta
+        # tests recur; and across steps most writes touch relations the query
+        # does not read.  The validity token is therefore *per relation*: the
+        # tuple of the store's relation stamps over the query's read set at
+        # memo time.  A verdict survives any store mutation that leaves those
+        # relations untouched — instead of the historical behaviour of
+        # clearing the whole memo on every mutation.  Correction queries
+        # (``more-specific`` / ``null-occurrence``) have database-free exact
+        # verdicts; their token is ``None`` and they never expire.
+        self._memo: Dict[PyTuple[int, ReadQuery, int], PyTuple[bool, Optional[PyTuple[int, ...]]]] = {}
         # The epoch holds a strong reference to the store (not its id(),
-        # which CPython reuses after garbage collection) plus its stamp.
+        # which CPython reuses after garbage collection).
         self._memo_store: Optional[VersionedDatabase] = None
-        self._memo_stamp: int = -1
 
     def reset(self) -> None:
         super().reset()
         self._memo.clear()
         self._memo_store = None
-        self._memo_stamp = -1
+
+    @staticmethod
+    def _memo_token(
+        query: ReadQuery, store: VersionedDatabase
+    ) -> Optional[PyTuple[int, ...]]:
+        """The validity token of a verdict for *query* on *store* right now."""
+        if query.kind in ("more-specific", "null-occurrence"):
+            # Database-free exact verdict: depends on the write alone.
+            return None
+        return tuple(
+            store.relation_stamp(relation) for relation in sorted(query.relations())
+        )
 
     def _delta_verdict(
         self,
         query: ReadQuery,
         reader: int,
         entry: VersionedWrite,
+        store: VersionedDatabase,
         view: DatabaseView,
+        token: Optional[PyTuple[int, ...]],
     ) -> bool:
         key = (reader, query, entry.seq)
-        verdict = self._memo.get(key, _UNKNOWN)
-        if verdict is _UNKNOWN:
-            verdict = query.affected_by(entry.write, view)
-            self._memo[key] = verdict
+        memoized = self._memo.get(key, _UNKNOWN)
+        if memoized is not _UNKNOWN:
+            verdict, stored_token = memoized
+            if stored_token is None or stored_token == token:
+                return verdict
+        verdict = query.affected_by(entry.write, view)
+        if len(self._memo) >= self._MEMO_LIMIT:
+            self._memo.clear()
+        self._memo[key] = (verdict, token)
         return verdict
 
     def dependencies(
@@ -220,11 +249,10 @@ class PreciseTracker(DependencyTracker):
         abortable: Set[int],
     ) -> Set[int]:
         self.reads_processed += 1
-        stamp = store.mutation_stamp()
-        if store is not self._memo_store or stamp != self._memo_stamp:
+        if store is not self._memo_store:
             self._memo_store = store
-            self._memo_stamp = stamp
             self._memo.clear()
+        token = self._memo_token(query, store)
         unit_cost = 2 * query.evaluation_cost()
         found: Set[int] = set()
         for priority in self._writers_below(reader, abortable):
@@ -235,7 +263,7 @@ class PreciseTracker(DependencyTracker):
             # historical scan examined is charged arithmetically below.
             hit_position: Optional[int] = None
             for entry in self._relevant_writes(query, priority, store):
-                if self._delta_verdict(query, reader, entry, view):
+                if self._delta_verdict(query, reader, entry, store, view, token):
                     hit_position = store.log_position(priority, entry.seq)
                     break
             if hit_position is None:

@@ -22,7 +22,7 @@ from ..core.update import UserOperation
 from ..query.base import ReadQuery
 from ..storage.interface import DatabaseView
 from ..storage.memory import FrozenDatabase
-from ..storage.versioned import VersionedDatabase
+from ..storage.versioned import VersionedDatabase, VersionedWrite
 from .aborts import RunStatistics, consolidate_aborts
 from .conflicts import find_direct_conflicts
 from .dependencies import DependencyTracker, HybridTracker
@@ -82,6 +82,7 @@ class OptimisticScheduler:
         self._next_priority = 1
         self._total_steps = 0
         self._restart_listeners: List[Callable[[int, int], None]] = []
+        self._commit_listeners: List[Callable[[int, List[VersionedWrite]], None]] = []
         self.statistics = RunStatistics(algorithm=tracker.name)
 
     # ------------------------------------------------------------------
@@ -294,6 +295,13 @@ class OptimisticScheduler:
             self._commit_watermark = priority
             self._newly_committed.append(priority)
             committed_now.append(priority)
+            if self._commit_listeners:
+                # The logged writes are about to be compacted away; hand the
+                # listeners a stable copy, evaluated while ``view_for(priority)``
+                # is still the exact committed snapshot of this update.
+                writes = list(self._store.writes_by(priority))
+                for listener in self._commit_listeners:
+                    listener(priority, writes)
             self._read_log.remove_reader(priority)
             if self._prune_committed:
                 # Committed executions can never be touched again; dropping
@@ -336,6 +344,20 @@ class OptimisticScheduler:
     def add_restart_listener(self, listener: Callable[[int, int], None]) -> None:
         """Register ``listener(old_priority, new_priority)`` for abort-restarts."""
         self._restart_listeners.append(listener)
+
+    def add_commit_listener(
+        self, listener: Callable[[int, List[VersionedWrite]], None]
+    ) -> None:
+        """Register ``listener(priority, writes)`` called as updates commit.
+
+        The listener runs inside :meth:`pump`, immediately after *priority*
+        enters the committed set and **before** its write-log entries are
+        compacted away, so ``store.view_for(priority)`` is exactly the
+        committed snapshot of the update and *writes* is the complete logged
+        write set.  The federation layer uses this to package cross-peer
+        exchange envelopes out of committed updates.
+        """
+        self._commit_listeners.append(listener)
 
     def committed_priorities(self) -> Set[int]:
         """The priorities that have committed so far."""

@@ -6,15 +6,30 @@ log additionally stores, per read, the *read dependencies* computed by the
 configured dependency tracker (Section 5.1): the lower-numbered updates whose
 writes influenced the answer.  Cascading aborts are computed from these
 dependencies.
+
+The log is *indexed by what a write could touch*, mirroring the store's
+indexed write log: per reader, records are bucketed by the relations their
+query reads (violation and more-specific queries) and by the labeled null
+they watch (null-occurrence queries).  The conflict checker asks for "the
+records of reader *i* a write into relation R touching nulls N could possibly
+affect" and skips everything else — every skipped record is guaranteed to
+fail the query's ``might_be_affected_by`` pre-filter, so skipping changes the
+cost of :func:`~repro.concurrency.conflicts.find_direct_conflicts`, never its
+outcome.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+from heapq import merge as heap_merge
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple as PyTuple
 
+from ..core.terms import LabeledNull
 from ..query.base import ReadQuery
+
+#: Query kinds whose affectedness is scoped by the query's read relations.
+_RELATION_SCOPED_KINDS = ("violation", "more-specific")
 
 
 @dataclass(frozen=True)
@@ -32,11 +47,63 @@ class ReadRecord:
     seq: int
 
 
+@dataclass
+class _ReaderIndex:
+    """Bucketed view of one reader's records, each entry paired with its rank.
+
+    The rank is the record's 0-based position in the reader's full log, which
+    is what lets the indexed conflict check reconstruct exactly how many
+    records a full scan would have walked before (and after) each candidate.
+    """
+
+    by_relation: Dict[str, List[PyTuple[int, ReadRecord]]] = field(default_factory=dict)
+    by_null: Dict[LabeledNull, List[PyTuple[int, ReadRecord]]] = field(default_factory=dict)
+    #: Records whose query kind the index cannot scope; always candidates.
+    wildcard: List[PyTuple[int, ReadRecord]] = field(default_factory=list)
+
+    def add(self, rank: int, record: ReadRecord) -> None:
+        query = record.query
+        kind = query.kind
+        if kind in _RELATION_SCOPED_KINDS:
+            for relation in query.relations():
+                self.by_relation.setdefault(relation, []).append((rank, record))
+        elif kind == "null-occurrence":
+            self.by_null.setdefault(query.null, []).append((rank, record))
+        else:
+            self.wildcard.append((rank, record))
+
+    def candidates(
+        self, relation: str, nulls: Iterable[LabeledNull]
+    ) -> Iterator[PyTuple[int, ReadRecord]]:
+        """Rank-ordered records a write into *relation* touching *nulls* could affect.
+
+        A record appears in exactly one bucket class (its query has one kind),
+        and a null-occurrence query sits in exactly one null bucket, so the
+        merged streams are disjoint and no deduplication is needed.
+        """
+        streams: List[List[PyTuple[int, ReadRecord]]] = []
+        bucket = self.by_relation.get(relation)
+        if bucket:
+            streams.append(bucket)
+        for null in nulls:
+            null_bucket = self.by_null.get(null)
+            if null_bucket:
+                streams.append(null_bucket)
+        if self.wildcard:
+            streams.append(self.wildcard)
+        if not streams:
+            return iter(())
+        if len(streams) == 1:
+            return iter(streams[0])
+        return heap_merge(*streams)
+
+
 class ReadLog:
     """All logged reads of the currently abortable updates."""
 
     def __init__(self) -> None:
         self._by_reader: Dict[int, List[ReadRecord]] = {}
+        self._index_by_reader: Dict[int, _ReaderIndex] = {}
         self._seq = itertools.count(1)
 
     def record(
@@ -49,7 +116,10 @@ class ReadLog:
             dependencies=frozenset(dependencies),
             seq=next(self._seq),
         )
-        self._by_reader.setdefault(reader, []).append(entry)
+        records = self._by_reader.setdefault(reader, [])
+        rank = len(records)
+        records.append(entry)
+        self._index_by_reader.setdefault(reader, _ReaderIndex()).add(rank, entry)
         return entry
 
     def remove_reader(self, reader: int) -> int:
@@ -58,15 +128,38 @@ class ReadLog:
         Returns the number of records dropped.
         """
         removed = self._by_reader.pop(reader, [])
+        self._index_by_reader.pop(reader, None)
         return len(removed)
 
     def readers(self) -> List[int]:
         """All priorities with at least one logged read."""
         return list(self._by_reader)
 
+    def readers_above(self, priority: int) -> List[int]:
+        """Readers numbered strictly above *priority*, in log insertion order."""
+        return [reader for reader in self._by_reader if reader > priority]
+
+    def record_count(self, reader: int) -> int:
+        """Number of reads logged by *reader*."""
+        return len(self._by_reader.get(reader, ()))
+
     def records_for(self, reader: int) -> List[ReadRecord]:
         """All reads logged by *reader*, in log order."""
         return list(self._by_reader.get(reader, []))
+
+    def candidate_records(
+        self, reader: int, relation: str, nulls: Iterable[LabeledNull]
+    ) -> Iterator[PyTuple[int, ReadRecord]]:
+        """The ``(rank, record)`` pairs of *reader* a write could affect.
+
+        *relation* is the written relation and *nulls* the labeled nulls of
+        the rows the write touched.  Every record of *reader* **not** yielded
+        is guaranteed to have ``might_be_affected_by(write) == False``.
+        """
+        index = self._index_by_reader.get(reader)
+        if index is None:
+            return iter(())
+        return index.candidates(relation, nulls)
 
     def records_with_reader_above(self, priority: int) -> Iterator[ReadRecord]:
         """Reads logged by updates numbered strictly above *priority*.

@@ -1,0 +1,76 @@
+"""The federation layer: multi-peer update exchange over a simulated transport.
+
+This package realizes the paper's actual setting — *collaborative* update
+exchange between many autonomous peers joined by tgd mappings — on top of the
+single-repository service layer.  Each :class:`~repro.federation.peer.Peer`
+runs its own :class:`~repro.service.repository.RepositoryService` over the
+relations it owns; cross-peer mappings are driven by commit-time exchange
+envelopes crossing an in-process
+:class:`~repro.federation.transport.Transport` with configurable delay,
+reordering and partition/heal controls; frontier questions raised by
+forwarded updates route back to the originating peer's inbox.  When every
+queue drains (:meth:`~repro.federation.network.FederatedNetwork.quiescent`),
+the union of the peers' committed stores is differentially checked against
+the single-repository chase over the union of mappings
+(:mod:`repro.federation.convergence`).
+
+Layering: ``service`` (one peer's repository) → **federation** (this
+package) → ``workload`` (multi-peer scenario generation and drivers).
+"""
+
+from .convergence import (
+    ConvergenceReport,
+    ReferenceRun,
+    check_convergence,
+    databases_equivalent,
+    find_homomorphism,
+    reference_chase,
+)
+from .envelopes import (
+    CommitNotice,
+    ExchangeFiring,
+    ExchangeRetraction,
+    QuestionAnswer,
+    QuestionCancelled,
+    QuestionOpened,
+    RemoteUpdate,
+)
+from .exchange import CrossMapping, ExchangeRules, FederationError, envelopes_for_commit
+from .network import (
+    FederatedNetwork,
+    FederatedQuestion,
+    FederatedTicket,
+    FederationPumpReport,
+)
+from .operations import RemoteFiringOperation, RemoteRetractionOperation
+from .peer import Peer
+from .transport import Envelope, Transport
+
+__all__ = [
+    "CommitNotice",
+    "ConvergenceReport",
+    "CrossMapping",
+    "Envelope",
+    "ExchangeFiring",
+    "ExchangeRetraction",
+    "ExchangeRules",
+    "FederatedNetwork",
+    "FederatedQuestion",
+    "FederatedTicket",
+    "FederationError",
+    "FederationPumpReport",
+    "Peer",
+    "QuestionAnswer",
+    "QuestionCancelled",
+    "QuestionOpened",
+    "ReferenceRun",
+    "RemoteFiringOperation",
+    "RemoteRetractionOperation",
+    "RemoteUpdate",
+    "Transport",
+    "check_convergence",
+    "databases_equivalent",
+    "envelopes_for_commit",
+    "find_homomorphism",
+    "reference_chase",
+]

@@ -1,0 +1,220 @@
+"""Partitioning the union mapping set across peers, and commit-time exchange.
+
+The paper's setting is many autonomous peers joined by tgd mappings.  Here a
+*federation schema* assigns every relation to exactly one owning peer; a
+mapping is **local** when both of its sides are owned by the same peer (that
+peer's repository chases it natively) and **cross-peer** when its LHS
+relations are owned by one peer and its RHS relations by another.  A mapping
+whose single side straddles two owners is rejected — it has no home to
+evaluate the side's join, which is exactly the restriction the paper's
+peer-to-peer mappings obey.
+
+Cross-peer propagation happens at commit time.  The owning scheduler reports
+each committed update's write set (see
+:meth:`~repro.concurrency.optimistic.OptimisticScheduler.add_commit_listener`);
+:func:`envelopes_for_commit` turns it into exchange payloads:
+
+* an inserted row seeds the cross mapping's violation query over the source
+  peer's committed snapshot (the RHS relations are empty there, so the query
+  returns exactly the new LHS matches), and each new exported assignment
+  becomes an :class:`~repro.federation.envelopes.ExchangeFiring` carrying the
+  instantiated head rows — existentials materialized as peer-fresh nulls;
+* a deleted row at the RHS-owning peer is matched against the mapping's RHS
+  over the pre-delete state; exported assignments that thereby lost their
+  *last* RHS match become
+  :class:`~repro.federation.envelopes.ExchangeRetraction` payloads for the
+  LHS owner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple as PyTuple
+
+from ..core.terms import NullFactory, Variable
+from ..core.tgd import Tgd
+from ..core.writes import WriteKind
+from ..query.compiled import get_plan
+from ..query.violation_query import violation_queries_for_write_row
+from ..service.tickets import RemoteOrigin
+from ..storage.interface import DatabaseView
+from ..storage.overlay import OverlayView
+from ..storage.versioned import VersionedWrite
+from .envelopes import ExchangeFiring, ExchangeRetraction, freeze_assignment
+
+
+class FederationError(ValueError):
+    """Raised for unroutable mappings or inconsistent ownership declarations."""
+
+
+@dataclass(frozen=True)
+class CrossMapping:
+    """A tgd whose LHS lives on one peer and whose RHS lives on another."""
+
+    tgd: Tgd
+    source: str
+    target: str
+
+
+class ExchangeRules:
+    """The routed view of a union mapping set under a relation-ownership map."""
+
+    def __init__(self, mappings: Sequence[Tgd], owner_of: Dict[str, str]):
+        self.owner_of = dict(owner_of)
+        self.local: Dict[str, List[Tgd]] = {}
+        self.cross: List[CrossMapping] = []
+        self._outgoing: Dict[str, Dict[str, List[CrossMapping]]] = {}
+        self._incoming: Dict[str, Dict[str, List[CrossMapping]]] = {}
+        for tgd in mappings:
+            source = self._single_owner(tgd, tgd.lhs_relations(), "LHS")
+            target = self._single_owner(tgd, tgd.rhs_relations(), "RHS")
+            if source == target:
+                self.local.setdefault(source, []).append(tgd)
+                continue
+            cross = CrossMapping(tgd=tgd, source=source, target=target)
+            self.cross.append(cross)
+            outgoing = self._outgoing.setdefault(source, {})
+            for relation in tgd.lhs_relations():
+                outgoing.setdefault(relation, []).append(cross)
+            incoming = self._incoming.setdefault(target, {})
+            for relation in tgd.rhs_relations():
+                incoming.setdefault(relation, []).append(cross)
+
+    def _single_owner(
+        self, tgd: Tgd, relations: FrozenSet[str], side: str
+    ) -> str:
+        owners = set()
+        for relation in relations:
+            owner = self.owner_of.get(relation)
+            if owner is None:
+                raise FederationError(
+                    "mapping {} mentions relation {!r} that no peer owns".format(
+                        tgd.name, relation
+                    )
+                )
+            owners.add(owner)
+        if len(owners) != 1:
+            raise FederationError(
+                "mapping {} has its {} spread over peers {} — each mapping "
+                "side must be owned by a single peer to be routable".format(
+                    tgd.name, side, sorted(owners)
+                )
+            )
+        return owners.pop()
+
+    def local_mappings(self, peer: str) -> List[Tgd]:
+        """The mappings peer *peer* chases natively."""
+        return list(self.local.get(peer, ()))
+
+    def outgoing(self, peer: str, relation: str) -> Sequence[CrossMapping]:
+        """Cross mappings fired by writes of *peer* into *relation* (LHS side)."""
+        return self._outgoing.get(peer, {}).get(relation, ())
+
+    def incoming(self, peer: str, relation: str) -> Sequence[CrossMapping]:
+        """Cross mappings retracted by deletes of *peer* from *relation* (RHS side)."""
+        return self._incoming.get(peer, {}).get(relation, ())
+
+    def union(self) -> List[Tgd]:
+        """Every mapping, local and cross (the single-repository reference set)."""
+        result: List[Tgd] = []
+        for tgds in self.local.values():
+            result.extend(tgds)
+        result.extend(cross.tgd for cross in self.cross)
+        return result
+
+
+def _instantiate_head(
+    tgd: Tgd, exported: Dict[Variable, object], null_factory: NullFactory
+) -> PyTuple:
+    """The RHS atoms under *exported*, existentials as fresh labeled nulls."""
+    plan = get_plan(tgd)
+    full = dict(exported)
+    for variable in plan.sorted_existentials:
+        full[variable] = null_factory.fresh()
+    return tuple(atom.instantiate(full) for atom in tgd.rhs)
+
+
+def envelopes_for_commit(
+    rules: ExchangeRules,
+    peer: str,
+    writes: Sequence[VersionedWrite],
+    view: DatabaseView,
+    null_factory: NullFactory,
+    origin: RemoteOrigin,
+) -> List[PyTuple[str, object]]:
+    """The ``(destination, payload)`` pairs one committed update produces.
+
+    *view* must be the committed snapshot the update's own chase saw (the
+    commit listener provides exactly that); *origin* identifies the federated
+    update that ultimately caused this commit, so questions raised while
+    chasing the resulting envelopes route all the way back.
+    """
+    payloads: List[PyTuple[str, object]] = []
+    fired: Set[PyTuple[Tgd, frozenset]] = set()
+    retracted: Set[PyTuple[Tgd, frozenset]] = set()
+    for logged in writes:
+        write = logged.write
+        added = write.added_row()
+        if added is not None:
+            for cross in rules.outgoing(peer, added.relation):
+                plan = get_plan(cross.tgd)
+                for query in violation_queries_for_write_row(
+                    cross.tgd, added, removed=False
+                ):
+                    for row in query.evaluate(view):
+                        exported = plan.exported(row.assignment())
+                        key = (cross.tgd, freeze_assignment(exported))
+                        if key in fired:
+                            continue
+                        fired.add(key)
+                        payloads.append(
+                            (
+                                cross.target,
+                                ExchangeFiring(
+                                    tgd=cross.tgd,
+                                    assignment_items=key[1],
+                                    head_rows=_instantiate_head(
+                                        cross.tgd, exported, null_factory
+                                    ),
+                                    origin=origin,
+                                ),
+                            )
+                        )
+        if write.kind is not WriteKind.DELETE:
+            continue
+        removed = write.removed_row()
+        if removed is None:
+            continue
+        for cross in rules.incoming(peer, removed.relation):
+            plan = get_plan(cross.tgd)
+            restored = OverlayView(view, added={removed})
+            for atom in plan.rhs_atoms_by_relation.get(removed.relation, ()):
+                bound = atom.match(removed)
+                if bound is None:
+                    continue
+                for assignment, witness in plan.rhs.find_matches(restored, bound):
+                    if removed not in witness:
+                        continue
+                    exported = {
+                        variable: value
+                        for variable, value in assignment.items()
+                        if variable in plan.frontier_variables
+                    }
+                    if plan.rhs.exists_match(view, exported):
+                        continue  # another RHS match survives the delete
+                    key = (cross.tgd, freeze_assignment(exported))
+                    if key in retracted:
+                        continue
+                    retracted.add(key)
+                    payloads.append(
+                        (
+                            cross.source,
+                            ExchangeRetraction(
+                                tgd=cross.tgd,
+                                assignment_items=key[1],
+                                removed_row=removed,
+                                origin=origin,
+                            ),
+                        )
+                    )
+    return payloads

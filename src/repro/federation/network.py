@@ -1,0 +1,543 @@
+"""The federated network: many repositories, one collaborative exchange.
+
+A :class:`FederatedNetwork` is the multi-peer realization of the paper's
+setting: every peer runs its own full update-exchange service (store, tracker,
+optimistic scheduler, admission queue, frontier inbox) over the relations it
+owns, and the tgd mappings that link peers are driven by commit-time exchange
+over a simulated :class:`~repro.federation.transport.Transport`:
+
+* a user operation submitted at a peer executes at the *owner* of its target
+  relation — locally, or routed as a :class:`~repro.federation.envelopes.RemoteUpdate`
+  through the owner's admission queue;
+* when an update commits, its writes fire the cross-peer mappings whose LHS
+  the committing peer owns; the resulting head firings (and, for deletions,
+  retractions) travel as envelopes and are re-submitted at the destination;
+* frontier questions raised while chasing a forwarded update are routed back
+  to the *originating* peer's federated inbox, answered there, and the answer
+  travels back to resume the parked update;
+* :meth:`FederatedNetwork.quiescent` holds when every queue — transport,
+  outboxes, admission, scheduler, inboxes — has drained, at which point the
+  union of the peers' committed stores is a chase fixpoint of the union
+  mapping set (differentially tested against the single-repository engine in
+  :mod:`repro.federation.convergence`).
+
+The network is cooperatively scheduled like everything else in this
+reproduction: :meth:`pump` performs one federation round (deliver, chase,
+route, flush), and :meth:`run_until_quiescent` loops it, optionally answering
+open questions with a strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple as PyTuple, Union
+
+from ..core.frontier import FrontierOperation, FrontierRequest
+from ..core.oracle import OracleError
+from ..core.schema import DatabaseSchema
+from ..core.terms import NullFactory
+from ..core.tgd import Tgd
+from ..core.update import DeleteOperation, InsertOperation, UserOperation
+from ..service.admission import AdmissionConfig, AdmissionError
+from ..service.repository import RepositoryService
+from ..service.tickets import RemoteOrigin, TicketStatus, UpdateTicket
+from ..storage.interface import DatabaseView
+from ..storage.memory import FrozenDatabase
+from .envelopes import (
+    CommitNotice,
+    ExchangeFiring,
+    ExchangeRetraction,
+    QuestionAnswer,
+    QuestionCancelled,
+    QuestionOpened,
+    RemoteUpdate,
+)
+from .exchange import ExchangeRules, FederationError
+from .operations import RemoteFiringOperation, RemoteRetractionOperation
+from .peer import Peer
+from .transport import Envelope, Transport
+
+
+@dataclass
+class FederatedTicket:
+    """The network-level handle of one user submission."""
+
+    ticket_id: int
+    peer: str
+    target: str
+    operation: UserOperation
+    status: TicketStatus = TicketStatus.QUEUED
+    #: The executing service's ticket (set immediately for local execution;
+    #: remote execution is tracked through commit notices instead, so the
+    #: originating peer only learns of the commit once the notice crosses the
+    #: transport — partitions delay knowledge, as they should).
+    local_ticket: Optional[UpdateTicket] = None
+
+    @property
+    def is_remote(self) -> bool:
+        return self.peer != self.target
+
+    @property
+    def is_done(self) -> bool:
+        return self.status in (TicketStatus.COMMITTED, TicketStatus.FAILED)
+
+    def describe(self) -> str:
+        return "federated ticket #{} {}@{} -> {}: {}".format(
+            self.ticket_id,
+            self.status.value,
+            self.peer,
+            self.target,
+            self.operation.describe(),
+        )
+
+
+@dataclass(frozen=True)
+class FederatedQuestion:
+    """One open frontier question as seen from a peer's federated inbox."""
+
+    executing_peer: str
+    decision_id: int
+    request: FrontierRequest
+    origin: RemoteOrigin
+    description: str
+
+    @property
+    def key(self) -> PyTuple[str, int]:
+        return (self.executing_peer, self.decision_id)
+
+    def alternatives(self) -> List[FrontierOperation]:
+        return self.request.alternatives()
+
+
+@dataclass
+class FederationPumpReport:
+    """What one federation round did."""
+
+    delivered: int = 0
+    steps: int = 0
+    committed: int = 0
+    flushed: int = 0
+    questions_opened: int = 0
+
+
+#: ``strategy(question) -> choice`` used by :meth:`run_until_quiescent`.
+AnswerStrategy = Callable[[FederatedQuestion], Union[FrontierOperation, int]]
+
+
+class FederatedNetwork:
+    """A set of named peers exchanging updates over a simulated transport."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        initial: DatabaseView,
+        mappings: Sequence[Tgd],
+        ownership: Dict[str, Sequence[str]],
+        tracker: str = "PRECISE",
+        transport: Optional[Transport] = None,
+        admission: Optional[AdmissionConfig] = None,
+        max_total_steps: int = 1_000_000,
+    ):
+        self.schema = schema
+        owner_of: Dict[str, str] = {}
+        for peer_name, relations in ownership.items():
+            for relation in relations:
+                if relation not in schema:
+                    raise FederationError(
+                        "peer {!r} claims unknown relation {!r}".format(
+                            peer_name, relation
+                        )
+                    )
+                if relation in owner_of:
+                    raise FederationError(
+                        "relation {!r} claimed by both {!r} and {!r}".format(
+                            relation, owner_of[relation], peer_name
+                        )
+                    )
+                owner_of[relation] = peer_name
+        unowned = [name for name in schema.relation_names() if name not in owner_of]
+        if unowned:
+            raise FederationError(
+                "no peer owns relation(s) {}".format(sorted(unowned))
+            )
+        self.owner_of = owner_of
+        self.rules = ExchangeRules(mappings, owner_of)
+        self.transport = transport if transport is not None else Transport()
+        self._peers: Dict[str, Peer] = {}
+        for peer_name, relations in ownership.items():
+            contents = {
+                relation: frozenset(initial.tuples(relation))
+                if owner_of[relation] == peer_name
+                else frozenset()
+                for relation in schema.relation_names()
+            }
+            service = RepositoryService(
+                FrozenDatabase(schema, contents),
+                self.rules.local_mappings(peer_name),
+                tracker=tracker,
+                admission=admission,
+                max_total_steps=max_total_steps,
+                # Peer-unique null prefixes: two peers' chases must never mint
+                # the same labeled null, or shipping a head row would silently
+                # identify two unrelated unknowns at the destination.
+                null_factory=NullFactory.avoiding_view(
+                    initial, prefix="{}s".format(peer_name)
+                ),
+            )
+            self._peers[peer_name] = Peer(
+                name=peer_name,
+                service=service,
+                owned_relations=tuple(relations),
+                rules=self.rules,
+                firing_factory=NullFactory.avoiding_view(
+                    initial, prefix="{}f".format(peer_name)
+                ),
+            )
+        self._inboxes: Dict[str, Dict[PyTuple[str, int], FederatedQuestion]] = {
+            name: {} for name in self._peers
+        }
+        self._tickets: Dict[int, FederatedTicket] = {}
+        self._unresolved: List[FederatedTicket] = []
+        self._next_ticket_id = 1
+        #: Federation-level counters (see :meth:`metrics`).
+        self.updates_routed = 0
+        self.firings_delivered = 0
+        self.retractions_delivered = 0
+        self.questions_routed = 0
+        self.answers_routed = 0
+        self.answers_dropped = 0
+        self.cancellations = 0
+        #: Envelope deliveries re-queued because the destination's bounded
+        #: admission queue was full (retried on later pumps).
+        self.deliveries_deferred = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def peer(self, name: str) -> Peer:
+        """Look a peer up by name."""
+        try:
+            return self._peers[name]
+        except KeyError:
+            raise FederationError("unknown peer {!r}".format(name))
+
+    def peers(self) -> List[Peer]:
+        """Every peer, in declaration order."""
+        return list(self._peers.values())
+
+    def peer_names(self) -> List[str]:
+        """The peer names, in declaration order."""
+        return list(self._peers)
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut the link between two peers (messages queue, nothing is lost)."""
+        self.peer(a), self.peer(b)  # validate names
+        self.transport.partition(a, b)
+
+    def heal(self, a: str, b: str) -> None:
+        """Reconnect two peers; held envelopes flow again on the next pump."""
+        self.transport.heal(a, b)
+
+    # ------------------------------------------------------------------
+    # Submission and routing
+    # ------------------------------------------------------------------
+    def _route(self, peer_name: str, operation: UserOperation) -> str:
+        if isinstance(operation, (InsertOperation, DeleteOperation)):
+            return self.owner_of[operation.row.relation]
+        # Null replacements (and anything exotic) execute where submitted:
+        # a labeled null's occurrences are confined to the peer that minted
+        # it under this exchange model.
+        return peer_name
+
+    def submit(self, peer_name: str, operation: UserOperation) -> FederatedTicket:
+        """Submit a user operation at *peer_name*; it executes at the owner."""
+        peer = self.peer(peer_name)
+        target = self._route(peer_name, operation)
+        ticket = FederatedTicket(
+            ticket_id=self._next_ticket_id,
+            peer=peer_name,
+            target=target,
+            operation=operation,
+        )
+        self._next_ticket_id += 1
+        self._tickets[ticket.ticket_id] = ticket
+        self._unresolved.append(ticket)
+        if target == peer_name:
+            try:
+                ticket.local_ticket = peer.service.submit(
+                    peer.gateway.session_id, operation
+                )
+            except AdmissionError:
+                # Local admission overflow is the submitting client's error;
+                # unregister the stillborn ticket and let the caller back off.
+                del self._tickets[ticket.ticket_id]
+                self._unresolved.remove(ticket)
+                raise
+        else:
+            self.updates_routed += 1
+            self.transport.send(
+                peer_name,
+                target,
+                RemoteUpdate(
+                    operation=operation,
+                    origin=RemoteOrigin(peer_name, ticket.ticket_id),
+                ),
+            )
+        return ticket
+
+    def ticket(self, ticket_id: int) -> FederatedTicket:
+        """Look a federated ticket up by id."""
+        try:
+            return self._tickets[ticket_id]
+        except KeyError:
+            raise FederationError("unknown federated ticket #{}".format(ticket_id))
+
+    # ------------------------------------------------------------------
+    # The federation round
+    # ------------------------------------------------------------------
+    def pump(self) -> FederationPumpReport:
+        """One federation round: deliver, chase every peer, route, flush."""
+        report = FederationPumpReport()
+        for envelope in self.transport.pump():
+            self._deliver(envelope)
+            report.delivered += 1
+        for peer in self._peers.values():
+            service_report = peer.service.pump()
+            report.steps += service_report.steps
+            report.committed += len(service_report.committed)
+        for peer in self._peers.values():
+            opened_local, vanished = peer.scan_questions()
+            inbox = self._inboxes[peer.name]
+            for question in opened_local:
+                federated = FederatedQuestion(
+                    executing_peer=peer.name,
+                    decision_id=question.decision_id,
+                    request=question.request,
+                    origin=RemoteOrigin(peer.name, question.ticket.ticket_id),
+                    description=question.ticket.describe(),
+                )
+                inbox[federated.key] = federated
+                report.questions_opened += 1
+            for decision_id in vanished:
+                inbox.pop((peer.name, decision_id), None)
+            peer.scan_failures()
+        self._mirror_local_tickets()
+        for peer in self._peers.values():
+            for destination, payload in peer.outbox:
+                self.transport.send(peer.name, destination, payload)
+                report.flushed += 1
+            peer.outbox.clear()
+        return report
+
+    def _deliver(self, envelope: Envelope) -> None:
+        peer = self.peer(envelope.destination)
+        payload = envelope.payload
+        if isinstance(payload, (RemoteUpdate, ExchangeFiring, ExchangeRetraction)):
+            if isinstance(payload, RemoteUpdate):
+                operation = payload.operation
+            elif isinstance(payload, ExchangeFiring):
+                operation = RemoteFiringOperation(
+                    payload.tgd, payload.assignment(), payload.head_rows
+                )
+            else:
+                operation = RemoteRetractionOperation(
+                    payload.tgd, payload.assignment()
+                )
+            try:
+                ticket = peer.service.submit(
+                    peer.gateway.session_id, operation, origin=payload.origin
+                )
+            except AdmissionError:
+                # The destination's bounded admission queue is full.  Nothing
+                # may be lost: put the envelope back on the wire and try again
+                # on a later pump (transport backpressure, not a crash).
+                self.transport.send(envelope.source, envelope.destination, payload)
+                self.deliveries_deferred += 1
+                return
+            if isinstance(payload, RemoteUpdate):
+                peer.expect_notice(ticket.ticket_id, payload.origin)
+            elif isinstance(payload, ExchangeFiring):
+                self.firings_delivered += 1
+            else:
+                self.retractions_delivered += 1
+        elif isinstance(payload, QuestionOpened):
+            federated = FederatedQuestion(
+                executing_peer=payload.executing_peer,
+                decision_id=payload.decision_id,
+                request=payload.request,
+                origin=payload.origin,
+                description=payload.ticket_description,
+            )
+            self._inboxes[envelope.destination][federated.key] = federated
+            self.questions_routed += 1
+        elif isinstance(payload, QuestionCancelled):
+            removed = self._inboxes[envelope.destination].pop(
+                (payload.executing_peer, payload.decision_id), None
+            )
+            if removed is not None:
+                self.cancellations += 1
+        elif isinstance(payload, QuestionAnswer):
+            try:
+                peer.service.answer(
+                    peer.gateway.session_id, payload.decision_id, payload.choice
+                )
+                peer.mark_answered(payload.decision_id)
+            except OracleError:
+                # The asking update aborted (its question was cancelled) while
+                # the answer was in flight; the restart will ask afresh.
+                self.answers_dropped += 1
+        elif isinstance(payload, CommitNotice):
+            ticket = self._tickets.get(payload.origin.ticket_id)
+            if ticket is not None:
+                ticket.status = payload.status
+        else:  # pragma: no cover - the payload union is closed
+            raise FederationError("undeliverable payload {!r}".format(payload))
+
+    def _mirror_local_tickets(self) -> None:
+        still_unresolved: List[FederatedTicket] = []
+        for ticket in self._unresolved:
+            if ticket.local_ticket is not None:
+                ticket.status = ticket.local_ticket.status
+            if not ticket.is_done:
+                still_unresolved.append(ticket)
+        self._unresolved = still_unresolved
+
+    # ------------------------------------------------------------------
+    # The federated inbox
+    # ------------------------------------------------------------------
+    def inbox(self, peer_name: str) -> List[FederatedQuestion]:
+        """The open questions answerable at *peer_name*, oldest first."""
+        self.peer(peer_name)
+        return [
+            question
+            for _, question in sorted(self._inboxes[peer_name].items())
+        ]
+
+    def answer(
+        self,
+        peer_name: str,
+        question: FederatedQuestion,
+        choice: Union[FrontierOperation, int],
+    ) -> None:
+        """A client at *peer_name* answers one of its open federated questions.
+
+        Local questions resume immediately; remote ones travel back to the
+        executing peer as a :class:`QuestionAnswer` envelope (and are subject
+        to the same delays and partitions as everything else).
+        """
+        inbox = self._inboxes[self.peer(peer_name).name]
+        if question.key not in inbox:
+            raise FederationError(
+                "question {} is not open at peer {!r}".format(question.key, peer_name)
+            )
+        del inbox[question.key]
+        if question.executing_peer == peer_name:
+            peer = self.peer(peer_name)
+            try:
+                peer.service.answer(
+                    peer.gateway.session_id, question.decision_id, choice
+                )
+            except OracleError:
+                self.answers_dropped += 1
+        else:
+            self.answers_routed += 1
+            self.transport.send(
+                peer_name,
+                question.executing_peer,
+                QuestionAnswer(
+                    executing_peer=question.executing_peer,
+                    decision_id=question.decision_id,
+                    choice=choice,
+                    answered_by=peer_name,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Quiescence and draining
+    # ------------------------------------------------------------------
+    def quiescent(self) -> bool:
+        """``True`` when no queue anywhere can produce further work."""
+        if self.transport.in_flight:
+            return False
+        for peer in self._peers.values():
+            if peer.outbox:
+                return False
+            if not peer.service.is_quiescent:
+                return False
+        return True
+
+    def run_until_quiescent(
+        self,
+        answer_strategy: Optional[AnswerStrategy] = None,
+        max_rounds: int = 10_000,
+    ) -> int:
+        """Pump until the federation drains; returns the number of rounds.
+
+        With *answer_strategy*, every open federated question is answered by
+        (a client of) the peer whose inbox holds it, each round.  Without one,
+        the loop still drains workloads that never park.  Raises
+        ``RuntimeError`` when *max_rounds* pass without quiescence — e.g.
+        while a partition still holds envelopes.
+        """
+        for round_number in range(1, max_rounds + 1):
+            self.pump()
+            if answer_strategy is not None:
+                for peer_name in self._peers:
+                    for question in self.inbox(peer_name):
+                        self.answer(peer_name, question, answer_strategy(question))
+            if self.quiescent():
+                return round_number
+        raise RuntimeError(
+            "federation failed to drain within {} rounds "
+            "(transport in flight: {}, partitions: {})".format(
+                max_rounds, self.transport.in_flight, self.transport.partitions()
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Global state
+    # ------------------------------------------------------------------
+    def global_snapshot(self) -> FrozenDatabase:
+        """The union of every peer's committed owned relations."""
+        contents: Dict[str, frozenset] = {}
+        for relation in self.schema.relation_names():
+            owner = self.peer(self.owner_of[relation])
+            contents[relation] = frozenset(
+                owner.service.scheduler.committed_view().tuples(relation)
+            )
+        return FrozenDatabase(self.schema, contents)
+
+    def tickets(self) -> List[FederatedTicket]:
+        """Every federated ticket, in submission order."""
+        return [self._tickets[ticket_id] for ticket_id in sorted(self._tickets)]
+
+    def metrics(self) -> Dict[str, object]:
+        """Aggregated federation, transport and per-peer service metrics."""
+        data: Dict[str, object] = {
+            "peers": len(self._peers),
+            "updates_routed": self.updates_routed,
+            "firings_delivered": self.firings_delivered,
+            "retractions_delivered": self.retractions_delivered,
+            "questions_routed": self.questions_routed,
+            "answers_routed": self.answers_routed,
+            "answers_dropped": self.answers_dropped,
+            "question_cancellations": self.cancellations,
+            "deliveries_deferred": self.deliveries_deferred,
+            "firings_emitted": sum(p.firings_emitted for p in self._peers.values()),
+            "retractions_emitted": sum(
+                p.retractions_emitted for p in self._peers.values()
+            ),
+        }
+        data.update(self.transport.metrics())
+        for name, peer in self._peers.items():
+            snapshot = peer.service.metrics_snapshot()
+            for key in (
+                "committed",
+                "parks",
+                "resumes",
+                "restarts",
+                "store_log_entries",
+                "store_versions",
+            ):
+                data["peer_{}_{}".format(name, key)] = snapshot[key]
+        return data

@@ -1,0 +1,201 @@
+"""One federation peer: a full repository service plus exchange bookkeeping.
+
+A :class:`Peer` owns a subset of the federation's relations and wraps its own
+:class:`~repro.service.repository.RepositoryService` — its own multiversion
+store, dependency tracker, optimistic scheduler, admission queue and frontier
+inbox.  The federation talks to it through one *gateway* session (envelope
+deliveries are submitted there) and through two hooks:
+
+* a scheduler commit listener that turns every committed update's write set
+  into outgoing exchange envelopes (cross-peer firings and retractions, plus
+  commit notices for routed user updates), staged in :attr:`Peer.outbox`;
+* :meth:`Peer.scan_questions`, which diffs the service's frontier inbox after
+  each pump — new questions of *remote-origin* updates are staged for routing
+  to the originating peer, questions that vanished without being answered
+  (their update aborted) produce cancellations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple as PyTuple
+
+from ..core.terms import NullFactory
+from ..service.inbox import InboxQuestion
+from ..service.repository import RepositoryService
+from ..service.tickets import RemoteOrigin, TicketStatus
+from .envelopes import (
+    CommitNotice,
+    ExchangeFiring,
+    QuestionCancelled,
+    QuestionOpened,
+)
+from .exchange import ExchangeRules, envelopes_for_commit
+
+
+class Peer:
+    """A named member of the federation."""
+
+    def __init__(
+        self,
+        name: str,
+        service: RepositoryService,
+        owned_relations: PyTuple[str, ...],
+        rules: ExchangeRules,
+        firing_factory: NullFactory,
+    ):
+        self.name = name
+        self.service = service
+        self.owned = frozenset(owned_relations)
+        self._rules = rules
+        self._firing_factory = firing_factory
+        #: The session envelope deliveries are submitted under.
+        self.gateway = service.open_session("federation:{}".format(name))
+        #: Staged ``(destination, payload)`` pairs; the network flushes them
+        #: into the transport at the end of each federation pump.
+        self.outbox: List[PyTuple[str, object]] = []
+        #: Open service decisions we know about: decision_id -> origin of the
+        #: asking ticket (``None`` when the question is answerable locally).
+        self._known_questions: Dict[int, Optional[RemoteOrigin]] = {}
+        #: Routed decisions answered through a delivered QuestionAnswer (their
+        #: disappearance from the inbox is success, not cancellation).
+        self._answered_remote: Set[int] = set()
+        #: Local ticket ids whose terminal state the origin peer awaits.
+        self._notify: Dict[int, RemoteOrigin] = {}
+        #: Exchange counters (aggregated by the network's metrics snapshot).
+        self.firings_emitted = 0
+        self.retractions_emitted = 0
+        self.notices_emitted = 0
+        service.add_commit_listener(self._on_commit)
+
+    # ------------------------------------------------------------------
+    # Commit-time exchange
+    # ------------------------------------------------------------------
+    def expect_notice(self, ticket_id: int, origin: RemoteOrigin) -> None:
+        """Mark a delivered routed update: its commit must be reported home."""
+        self._notify[ticket_id] = origin
+
+    def _on_commit(self, priority: int, writes) -> None:
+        ticket = self.service.ticket_for_priority(priority)
+        if ticket is not None and ticket.origin is not None:
+            origin = ticket.origin
+        else:
+            origin = RemoteOrigin(
+                self.name, ticket.ticket_id if ticket is not None else 0
+            )
+        if writes:
+            view = self.service.scheduler.store.view_for(priority)
+            for destination, payload in envelopes_for_commit(
+                self._rules, self.name, writes, view, self._firing_factory, origin
+            ):
+                if isinstance(payload, ExchangeFiring):
+                    self.firings_emitted += 1
+                else:
+                    self.retractions_emitted += 1
+                self.outbox.append((destination, payload))
+        if ticket is not None and ticket.ticket_id in self._notify:
+            notify_origin = self._notify.pop(ticket.ticket_id)
+            self.notices_emitted += 1
+            self.outbox.append(
+                (
+                    notify_origin.peer,
+                    CommitNotice(origin=notify_origin, status=TicketStatus.COMMITTED),
+                )
+            )
+
+    def scan_failures(self) -> None:
+        """Report routed updates that died without committing.
+
+        The commit listener only ever sees commits; a routed update stopped
+        by a budget stall ends ``FAILED`` through the service's stall path,
+        and its originating peer must still learn the terminal state or its
+        federated ticket (and closed-loop client) would wait forever.
+        """
+        for ticket_id in list(self._notify):
+            ticket = self.service.ticket(ticket_id)
+            if ticket.status is not TicketStatus.FAILED:
+                continue
+            origin = self._notify.pop(ticket_id)
+            self.notices_emitted += 1
+            self.outbox.append(
+                (
+                    origin.peer,
+                    CommitNotice(origin=origin, status=TicketStatus.FAILED),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Question routing
+    # ------------------------------------------------------------------
+    def mark_answered(self, decision_id: int) -> None:
+        """A routed question was answered via the transport; not a cancel."""
+        self._answered_remote.add(decision_id)
+
+    def scan_questions(self) -> PyTuple[List[InboxQuestion], List[int]]:
+        """Diff the service inbox; stage routing envelopes for remote questions.
+
+        Returns ``(opened_local, vanished_ids)``: the questions newly opened
+        for *locally originated* updates (the network files them in this
+        peer's federated inbox) and every previously known decision id that
+        left the service inbox (the network drops stale local entries; for
+        remote-origin ones a :class:`QuestionCancelled` was staged unless the
+        question disappeared because we answered it).
+        """
+        opened_local: List[InboxQuestion] = []
+        open_ids: Set[int] = set()
+        for question in self.service.inbox():
+            open_ids.add(question.decision_id)
+            if question.decision_id in self._known_questions:
+                continue
+            origin = question.ticket.origin
+            if origin is None or origin.peer == self.name:
+                self._known_questions[question.decision_id] = None
+                opened_local.append(question)
+            else:
+                self._known_questions[question.decision_id] = origin
+                self.outbox.append(
+                    (
+                        origin.peer,
+                        QuestionOpened(
+                            executing_peer=self.name,
+                            decision_id=question.decision_id,
+                            request=question.request,
+                            origin=origin,
+                            ticket_description=question.ticket.describe(),
+                        ),
+                    )
+                )
+        vanished: List[int] = []
+        for decision_id in list(self._known_questions):
+            if decision_id in open_ids:
+                continue
+            origin = self._known_questions.pop(decision_id)
+            vanished.append(decision_id)
+            answered = decision_id in self._answered_remote
+            self._answered_remote.discard(decision_id)
+            if origin is not None and not answered:
+                self.outbox.append(
+                    (
+                        origin.peer,
+                        QuestionCancelled(
+                            executing_peer=self.name,
+                            decision_id=decision_id,
+                            origin=origin,
+                        ),
+                    )
+                )
+        return opened_local, vanished
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def owned_snapshot(self) -> Dict[str, frozenset]:
+        """The committed contents of this peer's owned relations."""
+        snapshot = self.service.snapshot()
+        return {
+            relation: frozenset(snapshot.tuples(relation)) for relation in self.owned
+        }
+
+    def describe(self) -> str:
+        return "peer {} ({} relations, {} mappings)".format(
+            self.name, len(self.owned), len(self._rules.local_mappings(self.name))
+        )

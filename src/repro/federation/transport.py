@@ -1,0 +1,180 @@
+"""The simulated inter-peer transport: FIFO links with delay, reorder, partition.
+
+Peers of a :class:`~repro.federation.network.FederatedNetwork` never call each
+other directly; every exchange envelope crosses this in-process fabric.  Each
+ordered pair of peers has its own FIFO queue; a message becomes deliverable
+``delay`` pumps after it was sent (per-link delays can override the default),
+an optional seeded reorderer shuffles each pump's deliverable batch (letting
+late messages overtake earlier ones), and a partitioned link *holds* its
+messages — nothing is ever dropped — until :meth:`Transport.heal` reconnects
+the pair.  This is deliberately a simulation, not a wire protocol: payloads
+are shared in-process objects, and what is being studied is the *ordering and
+timing* freedom of the paper's collaborative setting, not serialization.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple as PyTuple
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One message in flight between two peers."""
+
+    seq: int
+    source: str
+    destination: str
+    payload: object
+    #: Transport tick at which the message was sent.
+    sent_at: int
+    #: Earliest transport tick at which the message may be delivered.
+    due_at: int
+
+    def describe(self) -> str:
+        return "envelope #{} {} -> {}: {}".format(
+            self.seq, self.source, self.destination, type(self.payload).__name__
+        )
+
+
+class Transport:
+    """In-process message fabric with per-link FIFO queues.
+
+    * ``delay`` — pumps a message waits before it is deliverable (default 0:
+      the next pump delivers it).
+    * ``reorder_seed`` — when set, each pump's deliverable batch is shuffled
+      with a seeded RNG **and** due messages may overtake earlier not-yet-due
+      ones on the same link; when unset, links are strictly FIFO.
+    * :meth:`partition` / :meth:`heal` — a partitioned pair's messages are
+      queued, not lost; healing releases them on the next pump.
+    """
+
+    def __init__(self, delay: int = 0, reorder_seed: Optional[int] = None):
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        self._default_delay = delay
+        self._link_delay: Dict[PyTuple[str, str], int] = {}
+        self._queues: Dict[PyTuple[str, str], Deque[Envelope]] = {}
+        self._partitioned: Set[FrozenSet[str]] = set()
+        self._rng = random.Random(reorder_seed) if reorder_seed is not None else None
+        self._seq = itertools.count(1)
+        self._tick = 0
+        #: Counters for the metrics snapshot.
+        self.sent = 0
+        self.delivered = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def set_delay(self, source: str, destination: str, delay: int) -> None:
+        """Override the delivery delay of one directed link."""
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        self._link_delay[(source, destination)] = delay
+
+    def delay_of(self, source: str, destination: str) -> int:
+        """The delivery delay currently configured for a directed link."""
+        return self._link_delay.get((source, destination), self._default_delay)
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut the (bidirectional) link between *a* and *b*; messages queue up."""
+        self._partitioned.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        """Reconnect *a* and *b*; held messages deliver on the next pumps."""
+        self._partitioned.discard(frozenset((a, b)))
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        """``True`` while the pair cannot exchange messages."""
+        return frozenset((a, b)) in self._partitioned
+
+    def partitions(self) -> List[FrozenSet[str]]:
+        """The currently cut pairs."""
+        return list(self._partitioned)
+
+    # ------------------------------------------------------------------
+    # Sending and pumping
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """The current transport tick (advanced by :meth:`pump`)."""
+        return self._tick
+
+    def send(self, source: str, destination: str, payload: object) -> Envelope:
+        """Enqueue *payload* on the ``source -> destination`` link."""
+        if source == destination:
+            raise ValueError("a peer does not message itself over the transport")
+        envelope = Envelope(
+            seq=next(self._seq),
+            source=source,
+            destination=destination,
+            payload=payload,
+            sent_at=self._tick,
+            due_at=self._tick + 1 + self.delay_of(source, destination),
+        )
+        self._queues.setdefault((source, destination), deque()).append(envelope)
+        self.sent += 1
+        return envelope
+
+    def pump(self) -> List[Envelope]:
+        """Advance one tick and return the envelopes delivered this tick.
+
+        Per link, the deliverable prefix (every due message up to the first
+        not-yet-due one) is taken in FIFO order; with reordering enabled, all
+        due messages are taken regardless of position and the combined batch
+        is shuffled.  Partitioned links deliver nothing.
+        """
+        self._tick += 1
+        deliverable: List[Envelope] = []
+        for link, queue in self._queues.items():
+            if frozenset(link) in self._partitioned:
+                continue
+            if self._rng is not None:
+                kept: Deque[Envelope] = deque()
+                while queue:
+                    envelope = queue.popleft()
+                    if envelope.due_at <= self._tick:
+                        deliverable.append(envelope)
+                    else:
+                        kept.append(envelope)
+                queue.extend(kept)
+            else:
+                while queue and queue[0].due_at <= self._tick:
+                    deliverable.append(queue.popleft())
+        if self._rng is not None and len(deliverable) > 1:
+            self._rng.shuffle(deliverable)
+        self.delivered += len(deliverable)
+        return deliverable
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Messages queued anywhere (including those held by partitions)."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    @property
+    def held_by_partition(self) -> int:
+        """Messages currently held on partitioned links (a gauge)."""
+        return sum(
+            len(queue)
+            for link, queue in self._queues.items()
+            if frozenset(link) in self._partitioned
+        )
+
+    def pending(self, source: str, destination: str) -> int:
+        """Messages queued on one directed link."""
+        return len(self._queues.get((source, destination), ()))
+
+    def metrics(self) -> Dict[str, int]:
+        """Flat counters for the federation metrics snapshot."""
+        return {
+            "transport_sent": self.sent,
+            "transport_delivered": self.delivered,
+            "transport_in_flight": self.in_flight,
+            "transport_partitioned_pairs": len(self._partitioned),
+        }

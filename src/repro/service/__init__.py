@@ -18,9 +18,10 @@ from .inbox import FrontierInbox, InboxQuestion
 from .metrics import ServiceMetrics, percentile
 from .repository import PumpReport, RepositoryService, ServiceError
 from .session import ClientSession, SessionError
-from .tickets import TicketStatus, UpdateTicket
+from .tickets import RemoteOrigin, TicketStatus, UpdateTicket
 
 __all__ = [
+    "RemoteOrigin",
     "AdmissionConfig",
     "AdmissionError",
     "AdmissionQueue",

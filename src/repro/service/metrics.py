@@ -109,8 +109,17 @@ class ServiceMetrics:
         """95th-percentile frontier wait, seconds."""
         return percentile(self.frontier_waits, 0.95)
 
-    def snapshot(self, statistics: RunStatistics, now: float) -> Dict[str, float]:
-        """One flat dictionary merging service and scheduler counters."""
+    def snapshot(
+        self, statistics: RunStatistics, now: float, store: Optional[object] = None
+    ) -> Dict[str, float]:
+        """One flat dictionary merging service and scheduler counters.
+
+        When *store* (a :class:`~repro.storage.versioned.VersionedDatabase`)
+        is supplied, its live size gauges are included — the write-log length
+        and version count bound the per-step work of rollback, conflict
+        checking and compaction, so operators watching a long-running service
+        want them on the same dashboard as throughput and abort rate.
+        """
         data = {
             "submitted": self.submitted,
             "admitted": self.admitted,
@@ -127,6 +136,12 @@ class ServiceMetrics:
             "queue_wait_p50_seconds": percentile(self.queue_waits, 0.5),
             "turnaround_p50_seconds": percentile(self.turnarounds, 0.5),
         }
+        if store is not None:
+            data["store_log_entries"] = store.log_size()
+            data["store_versions"] = store.version_count()
+            data["store_tuples"] = store.tuple_count()
+            data["store_index_entries"] = store.index_entry_count()
+            data["store_compactions"] = store.compactions
         for key, value in statistics.as_dict().items():
             data["scheduler_" + key] = value
         return data

@@ -43,7 +43,7 @@ from .admission import AdmissionConfig, AdmissionQueue
 from .inbox import FrontierInbox, InboxQuestion
 from .metrics import ServiceMetrics
 from .session import ClientSession, SessionError
-from .tickets import TicketStatus, UpdateTicket
+from .tickets import RemoteOrigin, TicketStatus, UpdateTicket
 
 
 class ServiceError(RuntimeError):
@@ -76,6 +76,7 @@ class RepositoryService:
         admission: Optional[AdmissionConfig] = None,
         max_total_steps: int = 1_000_000,
         clock: Callable[[], float] = time.perf_counter,
+        null_factory: Optional[NullFactory] = None,
     ):
         if isinstance(tracker, str):
             tracker = make_tracker(tracker)
@@ -83,13 +84,15 @@ class RepositoryService:
         store = VersionedDatabase(initial.schema)
         store.load_initial(initial)
         self._oracle = DeferredOracle()
+        if null_factory is None:
+            null_factory = NullFactory.avoiding_view(initial, prefix="s")
         self._scheduler = OptimisticScheduler(
             store=store,
             mappings=mappings,
             tracker=tracker,
             oracle=self._oracle,
             policy=policy,
-            null_factory=NullFactory.avoiding_view(initial, prefix="s"),
+            null_factory=null_factory,
             max_total_steps=max_total_steps,
             prune_committed=True,
         )
@@ -141,13 +144,24 @@ class RepositoryService:
     # ------------------------------------------------------------------
     # Submission and admission
     # ------------------------------------------------------------------
-    def submit(self, session_id: int, operation: UserOperation) -> UpdateTicket:
-        """Accept an update from a client; it waits for admission in FIFO order."""
+    def submit(
+        self,
+        session_id: int,
+        operation: UserOperation,
+        origin: Optional[RemoteOrigin] = None,
+    ) -> UpdateTicket:
+        """Accept an update from a client; it waits for admission in FIFO order.
+
+        *origin* marks updates forwarded by the federation layer; their
+        frontier questions are routed back to the originating peer instead of
+        this repository's own inbox clients.
+        """
         session = self.session(session_id)
         ticket = UpdateTicket(
             ticket_id=self._next_ticket_id,
             session_id=session_id,
             operation=operation,
+            origin=origin,
             submitted_at=self._clock(),
         )
         self._next_ticket_id += 1
@@ -353,9 +367,25 @@ class RepositoryService:
         """Every ticket ever submitted, in id order."""
         return [self._tickets[ticket_id] for ticket_id in sorted(self._tickets)]
 
+    def ticket_for_priority(self, priority: int) -> Optional[UpdateTicket]:
+        """The not-yet-reconciled ticket running under *priority* (or ``None``).
+
+        Commit listeners fire while the scheduler is still pumping, before the
+        service reconciles ticket states, so the priority → ticket map is
+        exactly right at that moment; afterwards committed priorities are
+        dropped from it.
+        """
+        return self._by_priority.get(priority)
+
+    def add_commit_listener(self, listener: Callable[[int, List], None]) -> None:
+        """Register a scheduler commit listener (see the scheduler's docs)."""
+        self._scheduler.add_commit_listener(listener)
+
     def metrics_snapshot(self) -> Dict[str, float]:
-        """Flat service+scheduler metrics dictionary."""
-        return self.metrics.snapshot(self.statistics, self._clock())
+        """Flat service+scheduler metrics dictionary (with store gauges)."""
+        return self.metrics.snapshot(
+            self.statistics, self._clock(), store=self._scheduler.store
+        )
 
     @property
     def is_quiescent(self) -> bool:

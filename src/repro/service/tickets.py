@@ -31,6 +31,24 @@ class TicketStatus(enum.Enum):
     FAILED = "failed"
 
 
+@dataclass(frozen=True)
+class RemoteOrigin:
+    """Where a federated update ultimately came from.
+
+    The federation layer submits exchange envelopes through a destination
+    peer's admission queue like any client would; the resulting ticket carries
+    the *originating* peer and that peer's federated ticket id, so frontier
+    questions raised while chasing the forwarded update can be routed back to
+    the humans who caused it.
+    """
+
+    peer: str
+    ticket_id: int
+
+    def describe(self) -> str:
+        return "{}#{}".format(self.peer, self.ticket_id)
+
+
 @dataclass
 class UpdateTicket:
     """One submitted operation, tracked across restarts and frontier waits."""
@@ -39,6 +57,8 @@ class UpdateTicket:
     session_id: int
     operation: UserOperation
     status: TicketStatus = TicketStatus.QUEUED
+    #: Federation provenance (``None`` for ordinary local submissions).
+    origin: Optional[RemoteOrigin] = None
     #: Current scheduler priority (changes on abort-restart; ``None`` while queued).
     priority: Optional[int] = None
     #: Number of executions started for this ticket (1 + restarts).
@@ -79,6 +99,13 @@ class UpdateTicket:
 
     def describe(self) -> str:
         """One-line description for logs and the CLI."""
-        return "ticket #{} [{}] session {}: {}".format(
-            self.ticket_id, self.status.value, self.session_id, self.operation.describe()
+        suffix = ""
+        if self.origin is not None:
+            suffix = " (from {})".format(self.origin.describe())
+        return "ticket #{} [{}] session {}: {}{}".format(
+            self.ticket_id,
+            self.status.value,
+            self.session_id,
+            self.operation.describe(),
+            suffix,
         )

@@ -181,6 +181,13 @@ class VersionedDatabase:
         #: compaction).  Memoizing consumers — the PRECISE tracker's delta
         #: verdict cache — key their entries to it.
         self._mutation_stamp = 0
+        #: Per-relation mutation stamps (same counter domain): the stamp of a
+        #: relation changes exactly when some version of some tuple of that
+        #: relation is created, removed or collapsed.  Consumers whose cached
+        #: answers only read a known relation set — the PRECISE delta-verdict
+        #: memo keys on a query's read relations — invalidate per relation
+        #: instead of on every store mutation.
+        self._relation_stamps: Dict[str, int] = {}
         #: Number of compaction passes performed (introspection).
         self.compactions = 0
 
@@ -267,6 +274,23 @@ class VersionedDatabase:
         """Monotone counter bumped by every write, rollback and compaction."""
         return self._mutation_stamp
 
+    def relation_stamp(self, relation: str) -> int:
+        """Monotone counter bumped by every mutation touching *relation*.
+
+        ``relation_stamp(R)`` is unchanged between two moments iff no version
+        of any tuple of ``R`` was created, removed or collapsed in between, so
+        any cached answer that only reads ``R`` (for a fixed visibility
+        priority) is still valid.
+        """
+        return self._relation_stamps.get(relation, 0)
+
+    def _bump_relations(self, relations: Iterable[str]) -> None:
+        """Advance the global stamp and the stamps of *relations* together."""
+        self._mutation_stamp += 1
+        stamp = self._mutation_stamp
+        for relation in relations:
+            self._relation_stamps[relation] = stamp
+
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
@@ -345,7 +369,7 @@ class VersionedDatabase:
         self._tuples[tid] = record
         self._by_relation[row.relation].add(tid)
         self._index_content(tid, row)
-        self._mutation_stamp += 1
+        self._bump_relations((row.relation,))
         logged = VersionedWrite(
             seq=seq, priority=priority, tid=tid, write=log_write or Write(WriteKind.INSERT, row)
         )
@@ -383,7 +407,7 @@ class VersionedDatabase:
         self._tuples[tid].versions.append(
             Version(seq=seq, priority=priority, content=None)
         )
-        self._mutation_stamp += 1
+        self._bump_relations((write.row.relation,))
         logged = VersionedWrite(seq=seq, priority=priority, tid=tid, write=write)
         self._append_log(logged)
         return logged
@@ -399,7 +423,11 @@ class VersionedDatabase:
             Version(seq=seq, priority=priority, content=write.row)
         )
         self._index_content(tid, write.row)
-        self._mutation_stamp += 1
+        self._bump_relations(
+            {write.row.relation, write.old_row.relation}
+            if write.old_row is not None
+            else (write.row.relation,)
+        )
         logged = VersionedWrite(seq=seq, priority=priority, tid=tid, write=write)
         self._append_log(logged)
         return logged
@@ -421,7 +449,7 @@ class VersionedDatabase:
         removed = self._log_by_priority.get(priority)
         if not removed:
             return []
-        self._mutation_stamp += 1
+        self._bump_relations({entry.write.relation for entry in removed})
         self._drop_priority_log(priority)
         for tid in {entry.tid for entry in removed}:
             record = self._tuples.get(tid)
@@ -547,10 +575,11 @@ class VersionedDatabase:
         if not targets:
             return 0
         touched_tids: Set[int] = set()
+        touched_relations: Set[str] = set()
         for priority in targets:
-            touched_tids.update(
-                entry.tid for entry in self._log_by_priority[priority]
-            )
+            for entry in self._log_by_priority[priority]:
+                touched_tids.add(entry.tid)
+                touched_relations.add(entry.write.relation)
         removed_versions = 0
         for tid in touched_tids:
             record = self._tuples.get(tid)
@@ -582,7 +611,10 @@ class VersionedDatabase:
             removed_versions += len(dropped)
             self._prune_index_entries(tid, dropped, record.versions)
         self._drop_priorities_log(targets)
-        self._mutation_stamp += 1
+        # Compaction preserves visibility for every remaining reader, but it
+        # does move physical versions; bump the touched relations so stamped
+        # consumers stay conservatively correct.
+        self._bump_relations(touched_relations)
         self.compactions += 1
         return removed_versions
 

@@ -1,0 +1,167 @@
+"""Closed-loop driver over a federated network of peers.
+
+The multi-peer sibling of :mod:`repro.workload.closed_loop`: each client
+belongs to one peer, keeps at most one federated update outstanding (remote
+ones count as outstanding until the commit notice crosses the transport
+back), and thinks for a configurable number of rounds between submissions.
+Frontier questions wait in their *originating* peer's federated inbox for
+``answer_delay`` rounds before a client of that peer answers them — for a
+question raised at a remote executing peer, the answer then travels back over
+the transport like any other envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple as PyTuple, Union
+
+from ..core.frontier import (
+    DeleteSubsetOperation,
+    ExpandOperation,
+    FrontierOperation,
+    NegativeFrontierRequest,
+)
+from ..core.update import UserOperation
+from ..federation.network import (
+    FederatedNetwork,
+    FederatedQuestion,
+    FederatedTicket,
+)
+from .closed_loop import conservative_answer as _conservative_answer
+
+#: ``strategy(question) -> answer`` over federated questions.
+FederatedAnswerStrategy = Callable[[FederatedQuestion], Union[FrontierOperation, int]]
+
+
+def expanding_answer(question: FederatedQuestion) -> FrontierOperation:
+    """Always-expand: the pure restricted-chase policy.
+
+    Mirrors :class:`~repro.core.oracle.AlwaysExpandOracle`, which the
+    differential reference uses — under it both the federation and the
+    single-repository chase perform plain chase steps, so their results are
+    homomorphically equivalent whenever the mapping set terminates (the
+    generated scenarios are acyclic by construction).  Negative frontiers
+    delete the first candidate.
+    """
+    request = question.request
+    if isinstance(request, NegativeFrontierRequest):
+        return DeleteSubsetOperation((request.candidates[0],))
+    return ExpandOperation(request.frontier_tuples[0])
+
+
+def conservative_answer(question: FederatedQuestion) -> FrontierOperation:
+    """Prefer unification — the terminating policy for cyclic topologies."""
+    return _conservative_answer(question)
+
+
+@dataclass
+class FederatedClientSpec:
+    """Static description of one closed-loop client at one peer."""
+
+    peer: str
+    name: str
+    operations: List[UserOperation]
+    think_time: int = 1
+
+
+class _FederatedClient:
+    def __init__(self, spec: FederatedClientSpec):
+        self.spec = spec
+        self._cursor = 0
+        self._thinking = 0
+        self.outstanding: Optional[FederatedTicket] = None
+
+    @property
+    def is_done(self) -> bool:
+        return self.outstanding is None and self._cursor >= len(self.spec.operations)
+
+    def tick(self, network: FederatedNetwork) -> Optional[FederatedTicket]:
+        if self.outstanding is not None:
+            if not self.outstanding.is_done:
+                return None
+            self.outstanding = None
+            self._thinking = self.spec.think_time
+        if self._cursor >= len(self.spec.operations):
+            return None
+        if self._thinking > 0:
+            self._thinking -= 1
+            return None
+        operation = self.spec.operations[self._cursor]
+        self._cursor += 1
+        self.outstanding = network.submit(self.spec.peer, operation)
+        return self.outstanding
+
+
+@dataclass
+class FederatedDriverReport:
+    """Outcome of one federated closed-loop run."""
+
+    rounds: int = 0
+    submitted: int = 0
+    answered: int = 0
+    all_done: bool = False
+    drained: bool = False
+    #: Question waits in rounds (asked round -> answered round), per answer.
+    question_wait_rounds: List[int] = field(default_factory=list)
+
+
+class FederatedClosedLoopDriver:
+    """Drives a :class:`FederatedNetwork` with think-time clients per peer."""
+
+    def __init__(
+        self,
+        network: FederatedNetwork,
+        specs: Sequence[FederatedClientSpec],
+        answer_delay: int = 1,
+        answer_strategy: FederatedAnswerStrategy = expanding_answer,
+    ):
+        self.network = network
+        self.answer_delay = answer_delay
+        self.answer_strategy = answer_strategy
+        self.clients = [_FederatedClient(spec) for spec in specs]
+        self._asked_round: Dict[PyTuple[str, PyTuple[str, int]], int] = {}
+
+    def _refresh_questions(self, round_number: int) -> None:
+        open_keys = set()
+        for peer_name in self.network.peer_names():
+            for question in self.network.inbox(peer_name):
+                key = (peer_name, question.key)
+                open_keys.add(key)
+                self._asked_round.setdefault(key, round_number)
+        for key in list(self._asked_round):
+            if key not in open_keys:
+                del self._asked_round[key]
+
+    def _answer_due(self, round_number: int, report: FederatedDriverReport) -> None:
+        for peer_name in self.network.peer_names():
+            for question in list(self.network.inbox(peer_name)):
+                key = (peer_name, question.key)
+                asked = self._asked_round.get(key, round_number)
+                if round_number - asked < self.answer_delay:
+                    continue
+                self.network.answer(
+                    peer_name, question, self.answer_strategy(question)
+                )
+                report.answered += 1
+                report.question_wait_rounds.append(round_number - asked)
+                self._asked_round.pop(key, None)
+
+    def run(self, max_rounds: int = 10_000) -> FederatedDriverReport:
+        """Run until every client finished *and* the federation drained."""
+        report = FederatedDriverReport()
+        for round_number in range(1, max_rounds + 1):
+            report.rounds = round_number
+            for client in self.clients:
+                if client.tick(self.network) is not None:
+                    report.submitted += 1
+            self.network.pump()
+            self._refresh_questions(round_number)
+            self._answer_due(round_number, report)
+            self.network.pump()
+            self._refresh_questions(round_number)
+            if all(client.is_done for client in self.clients):
+                report.all_done = True
+                if self.network.quiescent():
+                    report.drained = True
+                    break
+        return report

@@ -1,0 +1,150 @@
+"""Per-relation invalidation of the PRECISE delta-verdict memo.
+
+The memo used to clear on *every* store mutation; it now keys each entry to
+the stamps of the relations the query actually reads.  These tests prove the
+finer invalidation is (a) semantically invisible — every memoized verdict
+equals a freshly computed one, on real abort-heavy workloads — and (b)
+actually finer: verdicts survive writes into unrelated relations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.concurrency.dependencies import PreciseTracker, make_tracker
+from repro.concurrency.optimistic import OptimisticScheduler
+from repro.core.oracle import RandomOracle
+from repro.core.terms import NullFactory
+from repro.storage.versioned import VersionedDatabase
+from repro.workload.experiment import (
+    ExperimentConfig,
+    INSERT_WORKLOAD,
+    MIXED_WORKLOAD,
+    build_environment,
+    build_workload,
+)
+from repro.workload.mapping_gen import mapping_prefix
+
+
+class ParanoidPreciseTracker(PreciseTracker):
+    """PRECISE tracker that re-proves every memoized verdict from scratch."""
+
+    def __init__(self):
+        super().__init__()
+        self.verdicts_checked = 0
+        self.memo_hits = 0
+
+    def _delta_verdict(self, query, reader, entry, store, view, token):
+        key = (reader, query, entry.seq)
+        memoized = self._memo.get(key)
+        valid_hit = False
+        if memoized is not None:
+            verdict, stored_token = memoized
+            valid_hit = stored_token is None or stored_token == token
+        result = super()._delta_verdict(query, reader, entry, store, view, token)
+        fresh = query.affected_by(entry.write, view)
+        assert result == fresh, (
+            "stale memoized delta verdict for {!r} against write seq {} "
+            "(memo said {}, fresh evaluation says {})".format(
+                query, entry.seq, result, fresh
+            )
+        )
+        self.verdicts_checked += 1
+        if valid_hit:
+            self.memo_hits += 1
+        return result
+
+
+@pytest.mark.parametrize("workload_name", [INSERT_WORKLOAD, MIXED_WORKLOAD])
+def test_memoized_verdicts_always_match_fresh_evaluation(workload_name):
+    # The tiny scale never repeats a (reader, query, write) lookup, so use a
+    # slightly larger run where the memo demonstrably gets traffic.
+    config = ExperimentConfig.small_scale().scaled(num_updates=20)
+    environment = build_environment(config)
+    mappings = mapping_prefix(environment.mappings, config.mapping_counts[-1])
+    store = VersionedDatabase(environment.schema)
+    store.load_initial(environment.initial)
+    tracker = ParanoidPreciseTracker()
+    scheduler = OptimisticScheduler(
+        store=store,
+        mappings=mappings,
+        tracker=tracker,
+        oracle=RandomOracle(seed=config.seed),
+        null_factory=NullFactory.avoiding_view(environment.initial, prefix="g"),
+        max_total_steps=config.max_total_steps,
+    )
+    scheduler.submit_all(build_workload(environment, workload_name, config.seed))
+    scheduler.run()
+    assert tracker.verdicts_checked > 0
+    # The finer invalidation must actually produce cross-mutation hits
+    # (the old clear-on-every-mutation behaviour would leave only the
+    # within-step repeats).
+    assert tracker.memo_hits > 0
+
+
+def test_memo_statistics_identical_to_unmemoized_run():
+    """The memo changes wall-clock only: counters and outcomes are unchanged."""
+    config = ExperimentConfig.tiny_scale()
+    environment = build_environment(config)
+    mappings = mapping_prefix(environment.mappings, config.mapping_counts[-1])
+
+    def run(tracker):
+        store = VersionedDatabase(environment.schema)
+        store.load_initial(environment.initial)
+        scheduler = OptimisticScheduler(
+            store=store,
+            mappings=mappings,
+            tracker=tracker,
+            oracle=RandomOracle(seed=config.seed),
+            null_factory=NullFactory.avoiding_view(environment.initial, prefix="g"),
+            max_total_steps=config.max_total_steps,
+        )
+        scheduler.submit_all(build_workload(environment, MIXED_WORKLOAD, config.seed))
+        return scheduler.run()
+
+    class UnmemoizedPrecise(PreciseTracker):
+        def _delta_verdict(self, query, reader, entry, store, view, token):
+            return query.affected_by(entry.write, view)
+
+    memoized = run(make_tracker("PRECISE"))
+    unmemoized = run(UnmemoizedPrecise())
+    assert memoized.tracker_cost_units == unmemoized.tracker_cost_units
+    assert memoized.aborts == unmemoized.aborts
+    assert memoized.cascading_aborts == unmemoized.cascading_aborts
+    assert memoized.steps == unmemoized.steps
+
+
+def test_verdicts_survive_unrelated_mutations():
+    """A write into a relation outside the query's read set keeps the memo."""
+    from repro.core.schema import DatabaseSchema
+    from repro.core.tgd import parse_tgd
+    from repro.core.tuples import make_tuple
+    from repro.core.writes import insert
+    from repro.query.violation_query import ViolationQuery
+
+    schema = DatabaseSchema.from_dict(
+        {"A": ["x"], "B": ["x"], "Unrelated": ["x"]}
+    )
+    store = VersionedDatabase(schema)
+    tgd = parse_tgd("A(x) -> B(x)", name="sigma")
+    query = ViolationQuery(tgd)
+    tracker = PreciseTracker()
+
+    logged = store.apply_write(insert(make_tuple("A", "a1")), priority=1)
+    assert logged is not None
+    view = store.view_for(2)
+    token = tracker._memo_token(query, store)
+    first = tracker._delta_verdict(query, 2, logged, store, view, token)
+    key = (2, query, logged.seq)
+    assert key in tracker._memo
+
+    # Mutating an unrelated relation leaves the token — and the entry — valid.
+    store.apply_write(insert(make_tuple("Unrelated", "u1")), priority=3)
+    token_after = tracker._memo_token(query, store)
+    assert token_after == token
+
+    # Mutating a read relation invalidates it.
+    store.apply_write(insert(make_tuple("B", "b1")), priority=3)
+    token_changed = tracker._memo_token(query, store)
+    assert token_changed != token
+    assert first == query.affected_by(logged.write, view)

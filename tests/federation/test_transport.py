@@ -1,0 +1,118 @@
+"""Transport semantics: FIFO, delay, reorder, partition/heal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.federation.transport import Transport
+
+
+def _payloads(envelopes):
+    return [envelope.payload for envelope in envelopes]
+
+
+def test_fifo_delivery_next_pump():
+    transport = Transport()
+    transport.send("a", "b", 1)
+    transport.send("a", "b", 2)
+    transport.send("b", "a", 3)
+    delivered = transport.pump()
+    assert sorted(_payloads(delivered)) == [1, 2, 3]
+    ab = [e.payload for e in delivered if e.destination == "b"]
+    assert ab == [1, 2]  # per-link FIFO preserved
+    assert transport.in_flight == 0
+    assert transport.pump() == []
+
+
+def test_delay_holds_messages():
+    transport = Transport(delay=2)
+    transport.send("a", "b", "x")
+    assert _payloads(transport.pump()) == []
+    assert _payloads(transport.pump()) == []
+    assert _payloads(transport.pump()) == ["x"]
+
+
+def test_per_link_delay_override():
+    transport = Transport(delay=0)
+    transport.set_delay("a", "b", 3)
+    transport.send("a", "b", "slow")
+    transport.send("a", "c", "fast")
+    first = transport.pump()
+    assert _payloads(first) == ["fast"]
+    transport.pump()
+    transport.pump()
+    assert _payloads(transport.pump()) == ["slow"]
+
+
+def test_fifo_blocks_behind_undue_head_without_reorder():
+    transport = Transport()
+    transport.set_delay("a", "b", 2)
+    transport.send("a", "b", "first")  # due at tick 3
+    transport.pump()  # tick 1
+    transport.set_delay("a", "b", 0)
+    transport.send("a", "b", "second")  # due at tick 2, behind "first"
+    assert _payloads(transport.pump()) == []  # second must not overtake
+    assert _payloads(transport.pump()) == ["first", "second"]
+
+
+def test_reorder_allows_overtaking():
+    transport = Transport(reorder_seed=0)
+    transport.set_delay("a", "b", 2)
+    transport.send("a", "b", "slow")
+    transport.pump()
+    transport.set_delay("a", "b", 0)
+    transport.send("a", "b", "fast")
+    assert _payloads(transport.pump()) == ["fast"]  # overtakes the undue head
+    assert _payloads(transport.pump()) == ["slow"]
+
+
+def test_reorder_shuffles_batch_deterministically():
+    def run(seed):
+        transport = Transport(reorder_seed=seed)
+        for index in range(10):
+            transport.send("a", "b", index)
+        return _payloads(transport.pump())
+
+    assert run(3) == run(3)  # seeded: reproducible
+    assert sorted(run(3)) == list(range(10))
+    assert any(run(seed) != list(range(10)) for seed in range(5))
+
+
+def test_partition_holds_and_heal_releases():
+    transport = Transport()
+    transport.send("a", "b", "held")
+    transport.partition("a", "b")
+    assert transport.is_partitioned("b", "a")
+    assert _payloads(transport.pump()) == []
+    assert _payloads(transport.pump()) == []
+    assert transport.in_flight == 1  # nothing lost
+    transport.heal("a", "b")
+    assert _payloads(transport.pump()) == ["held"]
+    assert transport.in_flight == 0
+
+
+def test_partition_is_bidirectional_and_pairwise():
+    transport = Transport()
+    transport.partition("a", "b")
+    transport.send("b", "a", "ba")
+    transport.send("a", "c", "ac")
+    assert _payloads(transport.pump()) == ["ac"]
+    transport.heal("a", "b")
+    assert _payloads(transport.pump()) == ["ba"]
+
+
+def test_self_send_rejected():
+    transport = Transport()
+    with pytest.raises(ValueError):
+        transport.send("a", "a", "loop")
+
+
+def test_metrics_counters():
+    transport = Transport()
+    transport.send("a", "b", 1)
+    transport.pump()
+    transport.send("a", "b", 2)
+    metrics = transport.metrics()
+    assert metrics["transport_sent"] == 2
+    assert metrics["transport_delivered"] == 1
+    assert metrics["transport_in_flight"] == 1

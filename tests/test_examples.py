@@ -59,6 +59,17 @@ def test_service_demo_example():
     assert "p50 frontier wait" in output
 
 
+def test_federation_demo_example():
+    output = _run_example("federation_demo.py")
+    assert "federation of 3 peers" in output
+    assert "offer cascaded" in output
+    assert "routes to portal" in output
+    assert "routed back to the archive" in output
+    assert "archive partitioned" in output
+    assert "federation quiescent: True" in output
+    assert "convergence: EQUIVALENT" in output
+
+
 @pytest.mark.slow
 def test_synthetic_workload_example():
     output = _run_example("synthetic_workload.py", timeout=900)
