@@ -95,6 +95,18 @@ def test_federation_throughput():
     committed = sum(
         metrics["peer_{}_committed".format(peer)] for peer in network.peer_names()
     )
+    # Per-peer latency percentiles: with heterogeneous peers (slow archive,
+    # fast edge) these are the panel that shows the spread; homogeneous runs
+    # record them too so the trajectory file carries a baseline.
+    peer_latencies = {}
+    for peer in network.peers():
+        snapshot = peer.service.metrics_snapshot()
+        peer_latencies[peer.name] = {
+            "turnaround_p50_seconds": snapshot["turnaround_p50_seconds"],
+            "turnaround_p95_seconds": snapshot["turnaround_p95_seconds"],
+            "queue_wait_p50_seconds": snapshot["queue_wait_p50_seconds"],
+            "queue_wait_p95_seconds": snapshot["queue_wait_p95_seconds"],
+        }
     entry = {
         "scale": scale,
         "peers": config.num_peers,
@@ -109,6 +121,7 @@ def test_federation_throughput():
         "questions_routed": metrics["questions_routed"],
         "convergence_equivalent": convergence.equivalent,
         "federation_aborts": convergence.federation_aborts,
+        "peer_latencies": peer_latencies,
     }
 
     # Merge into the trajectory file next to the tracker measurement.

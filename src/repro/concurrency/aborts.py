@@ -118,6 +118,19 @@ class RunStatistics:
     chase_cost_units: int = 0
     #: Wall-clock seconds for the whole run.
     wall_seconds: float = 0.0
+    #: Commit batches performed (group-commit path: one watermark advance,
+    #: one listener round and one compaction sweep per batch).
+    group_commits: int = 0
+    #: Updates committed across all batches (``/ group_commits`` = mean batch).
+    group_commit_members: int = 0
+    #: Batches that failed group validation and fell back to singleton
+    #: commits (eager conflict processing makes this a should-never counter).
+    group_commit_fallbacks: int = 0
+    #: Work units spent validating commit batches.  Kept **out** of
+    #: ``total_cost_units``: group validation is a batching artifact, and the
+    #: Figure 3/4 cost panels must stay bit-identical between the batched and
+    #: singleton commit paths.
+    group_validation_cost_units: int = 0
 
     @property
     def total_cost_units(self) -> int:
@@ -157,6 +170,10 @@ class RunStatistics:
             "conflict_cost_units": self.conflict_cost_units,
             "chase_cost_units": self.chase_cost_units,
             "total_cost_units": self.total_cost_units,
+            "group_commits": self.group_commits,
+            "group_commit_members": self.group_commit_members,
+            "group_commit_fallbacks": self.group_commit_fallbacks,
+            "group_validation_cost_units": self.group_validation_cost_units,
             "wall_seconds": self.wall_seconds,
             "per_update_seconds": self.per_update_seconds,
             "per_update_cost_units": self.per_update_cost_units,

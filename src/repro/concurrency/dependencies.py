@@ -252,13 +252,21 @@ class PreciseTracker(DependencyTracker):
         if store is not self._memo_store:
             self._memo_store = store
             self._memo.clear()
+        writers = [
+            priority
+            for priority in self._writers_below(reader, abortable)
+            if store.write_count_by(priority)
+        ]
+        found: Set[int] = set()
+        if not writers:
+            # No abortable writes below the reader: nothing to delta-test and
+            # nothing to charge — skip the memo-token construction entirely
+            # (the common case whenever admission keeps concurrency low).
+            return found
         token = self._memo_token(query, store)
         unit_cost = 2 * query.evaluation_cost()
-        found: Set[int] = set()
-        for priority in self._writers_below(reader, abortable):
+        for priority in writers:
             count = store.write_count_by(priority)
-            if count == 0:
-                continue
             # Only the relevant writes can test positive; everything else the
             # historical scan examined is charged arithmetically below.
             hit_position: Optional[int] = None

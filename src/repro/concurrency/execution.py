@@ -77,6 +77,7 @@ class UpdateExecution:
         oracle: FrontierOracle,
         null_factory: NullFactory,
         attempt: int = 1,
+        compiled=None,
     ):
         self.priority = priority
         self.operation = operation
@@ -90,7 +91,12 @@ class UpdateExecution:
         self._store = store
         self._mappings = list(mappings)
         #: Compiled plans shared process-wide through the global plan cache.
-        self._compiled = compile_mappings(self._mappings)
+        #: Callers running many executions over one mapping set (the
+        #: scheduler) pass their shared ``CompiledMappings`` so the
+        #: relation-keyed lookup tables are built once, not per execution.
+        self._compiled = compiled if compiled is not None else compile_mappings(
+            self._mappings
+        )
         self._oracle = oracle
         self._null_factory = null_factory
         self._planner = RepairPlanner(self._mappings, null_factory)
@@ -270,4 +276,5 @@ class UpdateExecution:
             oracle=self._oracle,
             null_factory=self._null_factory,
             attempt=self.attempt + 1,
+            compiled=self._compiled,
         )

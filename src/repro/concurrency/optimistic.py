@@ -12,7 +12,7 @@ restarted under a fresh, higher priority number.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple as PyTuple
 
 from ..core.frontier import FrontierOperation
 from ..core.oracle import FrontierOracle, RandomOracle
@@ -50,9 +50,16 @@ class OptimisticScheduler:
         promote_restarts_to_precise: bool = False,
         prune_committed: bool = False,
         compact_committed: bool = True,
+        group_commit: bool = True,
     ):
         self._store = store
         self._mappings = list(mappings)
+        from ..query.compiled import compile_mappings
+
+        #: One shared CompiledMappings for every execution this scheduler
+        #: admits or restarts (the per-mapping plans are process-cached, but
+        #: the relation-keyed lookup tables used to be rebuilt per execution).
+        self._compiled_mappings = compile_mappings(self._mappings)
         self._tracker = tracker
         self._oracle = oracle if oracle is not None else RandomOracle(seed=0)
         self._policy = policy if policy is not None else RoundRobinStepPolicy()
@@ -72,6 +79,16 @@ class OptimisticScheduler:
         #: bounds storage growth — long-running service sessions would
         #: otherwise accrete garbage proportional to everything ever served.
         self._compact_committed = compact_committed
+        #: Group commit (the default): every maximal run of terminated updates
+        #: commits as one batch — one watermark advance, one validation of the
+        #: batch against the read log, one batch-listener round with the union
+        #: write set and one ``compact_below`` sweep.  With ``False`` each
+        #: member commits as its own singleton batch (own listener round and
+        #: compaction sweep) — the reference path the differential tests pin
+        #: the batched path against.  Chase execution, conflict processing and
+        #: abort semantics are identical either way; only commit-time
+        #: amortization differs.
+        self._group_commit = group_commit
         self._pruned_terminated = 0
 
         self._executions: Dict[int, UpdateExecution] = {}
@@ -83,6 +100,9 @@ class OptimisticScheduler:
         self._total_steps = 0
         self._restart_listeners: List[Callable[[int, int], None]] = []
         self._commit_listeners: List[Callable[[int, List[VersionedWrite]], None]] = []
+        self._batch_commit_listeners: List[
+            Callable[[List[PyTuple[int, List[VersionedWrite]]]], None]
+        ] = []
         self.statistics = RunStatistics(algorithm=tracker.name)
 
     # ------------------------------------------------------------------
@@ -99,6 +119,7 @@ class OptimisticScheduler:
             mappings=self._mappings,
             oracle=self._oracle,
             null_factory=self._null_factory,
+            compiled=self._compiled_mappings,
         )
         self._executions[priority] = execution
         self.statistics.updates_submitted += 1
@@ -205,14 +226,19 @@ class OptimisticScheduler:
 
     def _run_one_step(self, execution: UpdateExecution) -> StepResult:
         reader = execution.priority
+        # The abortable set and the reader's view are invariant within one
+        # step (submissions, aborts and commits all happen between steps), so
+        # they are computed once instead of once per recorded read.
+        abortable = self._abortable()
+        reader_view = self._store.view_for(reader)
 
         def recorder(query: ReadQuery, answer: object) -> None:
             dependencies = self._tracker.dependencies(
                 query,
                 reader,
                 self._store,
-                self._store.view_for(reader),
-                self._abortable(),
+                reader_view,
+                abortable,
             )
             self._read_log.record(reader, query, dependencies)
             self.statistics.read_queries += 1
@@ -279,37 +305,88 @@ class OptimisticScheduler:
 
         An update can no longer be aborted once it has terminated and every
         lower-numbered update has committed: no future write can come from a
-        lower-numbered update.  Committed updates' read logs are dropped, and
-        (unless disabled) their version chains and write-log entries are
-        compacted away incrementally, touching only the committed updates'
-        own tuples plus one filter pass over the (compaction-bounded) log.
+        lower-numbered update.  The maximal run of such updates forms one
+        *commit batch*; under group commit (the default) it is validated
+        against the read log and committed with one watermark advance, one
+        batch-listener round and one compaction sweep — the per-commit fixed
+        costs are paid once per batch instead of once per update.  An
+        intra-batch conflict (impossible under eager conflict processing, but
+        validated anyway) or ``group_commit=False`` falls back to committing
+        each member as its own singleton batch, which is bit-identical in
+        abort/cascade/cost semantics and differs only in amortization.
         """
-        committed_now: List[int] = []
+        # Cheap pre-check before sorting: most steps terminate nothing, and
+        # the commit batch can only be non-empty when something did.
+        if not any(
+            execution.is_terminated for execution in self._executions.values()
+        ):
+            return
+        batch: List[int] = []
         for priority in sorted(self._executions):
             if priority in self._committed:
                 continue
-            execution = self._executions[priority]
-            if not execution.is_terminated:
+            if not self._executions[priority].is_terminated:
                 break
+            batch.append(priority)
+        if not batch:
+            return
+        if self._group_commit:
+            if len(batch) > 1 and not self._validate_group(batch):
+                self.statistics.group_commit_fallbacks += 1
+                for priority in batch:
+                    self._commit_members([priority])
+            else:
+                self._commit_members(batch)
+        else:
+            for priority in batch:
+                self._commit_members([priority])
+
+    def _validate_group(self, batch: List[int]) -> bool:
+        """Check the batch's union write set against its members' read logs.
+
+        Every member's reads were already conflict-checked eagerly as the
+        writes happened (and conflicting readers aborted), so a surviving
+        intra-batch conflict would indicate a scheduler bug — the validation
+        is the group-commit safety net, and its cost is accounted separately
+        so the cost-model panels stay identical to the singleton path.
+        """
+        writes: List[VersionedWrite] = []
+        for priority in batch:
+            writes.extend(self._store.writes_by(priority))
+        report = find_direct_conflicts(writes, self._read_log, self._store, set(batch))
+        self.statistics.group_validation_cost_units += report.cost_units
+        return not report.direct_conflicts
+
+    def _commit_members(self, members: List[int]) -> None:
+        """Commit *members* (contiguous, terminated) as one batch."""
+        need_writes = bool(self._commit_listeners or self._batch_commit_listeners)
+        commits: List[PyTuple[int, List[VersionedWrite]]] = []
+        for priority in members:
             self._committed.add(priority)
             self._commit_watermark = priority
             self._newly_committed.append(priority)
-            committed_now.append(priority)
-            if self._commit_listeners:
+            if need_writes:
                 # The logged writes are about to be compacted away; hand the
                 # listeners a stable copy, evaluated while ``view_for(priority)``
                 # is still the exact committed snapshot of this update.
                 writes = list(self._store.writes_by(priority))
-                for listener in self._commit_listeners:
-                    listener(priority, writes)
+            else:
+                writes = []
+            for listener in self._commit_listeners:
+                listener(priority, writes)
+            commits.append((priority, writes))
             self._read_log.remove_reader(priority)
             if self._prune_committed:
                 # Committed executions can never be touched again; dropping
                 # them keeps the per-pump ready/parked scans O(in-flight).
                 del self._executions[priority]
                 self._pruned_terminated += 1
-        if committed_now and self._compact_committed:
-            self._store.compact_below(self._commit_watermark, committed_now)
+        for listener in self._batch_commit_listeners:
+            listener(commits)
+        self.statistics.group_commits += 1
+        self.statistics.group_commit_members += len(members)
+        if self._compact_committed:
+            self._store.compact_below(self._commit_watermark, members)
 
     # ------------------------------------------------------------------
     # Results
@@ -358,6 +435,22 @@ class OptimisticScheduler:
         exchange envelopes out of committed updates.
         """
         self._commit_listeners.append(listener)
+
+    def add_batch_commit_listener(
+        self,
+        listener: Callable[[List[PyTuple[int, List[VersionedWrite]]]], None],
+    ) -> None:
+        """Register ``listener(commits)`` called once per commit batch.
+
+        *commits* is the batch's union write set as ``(priority, writes)``
+        pairs in commit order; like the per-priority listeners it fires
+        **before** the batch is compacted, so every member's
+        ``store.view_for(priority)`` is still its exact committed snapshot.
+        Under group commit a listener round runs once per batch rather than
+        once per update — the federation layer coalesces a whole batch's
+        exchange envelopes here before anything reaches the transport.
+        """
+        self._batch_commit_listeners.append(listener)
 
     def committed_priorities(self) -> Set[int]:
         """The priorities that have committed so far."""

@@ -21,7 +21,7 @@ class AtomError(ValueError):
 class Atom:
     """A relational atom ``R(t1, ..., tk)`` over variables and constants."""
 
-    __slots__ = ("_relation", "_terms", "_hash")
+    __slots__ = ("_relation", "_terms", "_hash", "_constant_positions", "_variable_positions")
 
     def __init__(self, relation: str, terms: Iterable[object]):
         normalized: List[QueryTerm] = []
@@ -37,6 +37,19 @@ class Atom:
         self._relation = relation
         self._terms: PyTuple[QueryTerm, ...] = tuple(normalized)
         self._hash = hash((self._relation, self._terms))
+        # Precompiled match structure: constant positions are checked before
+        # any allocation (the common failure mode of a hot join candidate),
+        # variable positions drive the binding loop.
+        self._constant_positions: PyTuple[PyTuple[int, QueryTerm], ...] = tuple(
+            (index, term)
+            for index, term in enumerate(self._terms)
+            if not isinstance(term, Variable)
+        )
+        self._variable_positions: PyTuple[PyTuple[int, Variable], ...] = tuple(
+            (index, term)
+            for index, term in enumerate(self._terms)
+            if isinstance(term, Variable)
+        )
 
     @property
     def relation(self) -> str:
@@ -125,19 +138,22 @@ class Atom:
         Returns the extended assignment, or ``None`` when the row does not
         match.  The input assignment is never mutated.
         """
-        if row.relation != self._relation or row.arity != self.arity:
+        values = row.values
+        if row.relation != self._relation or len(values) != len(self._terms):
             return None
+        # Constants first, before any allocation: a candidate failing on a
+        # constant position costs nothing but the comparisons.
+        for index, term in self._constant_positions:
+            if term != values[index]:
+                return None
         result: Dict[Variable, DataTerm] = dict(assignment) if assignment else {}
-        for term, value in zip(self._terms, row.values):
-            if is_variable(term):
-                bound = result.get(term)
-                if bound is None:
-                    result[term] = value
-                elif bound != value:
-                    return None
-            else:
-                if term != value:
-                    return None
+        for index, term in self._variable_positions:
+            value = values[index]
+            bound = result.get(term)
+            if bound is None:
+                result[term] = value
+            elif bound != value:
+                return None
         return result
 
     def rename(self, renaming: Dict[Variable, Variable]) -> "Atom":

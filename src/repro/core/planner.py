@@ -49,6 +49,27 @@ class RepairPlanner:
         self._mappings = list(mappings)
         self._null_factory = null_factory
         self._firings: Dict[Violation, FiringState] = {}
+        # ``still_holds`` memo, keyed to the view's change token.  One chase
+        # step re-validates the same violations several times (queue refresh,
+        # stale-firing sweep, deterministic planning, request building) with
+        # no write in between; the memo collapses those to one evaluation.
+        # ``still_holds`` is never recorded as a read, so memoizing it cannot
+        # change read logs, tracker counters or conflict checks.
+        self._holds_token: Optional[object] = None
+        self._holds_memo: Dict[Violation, bool] = {}
+
+    def _still_holds(self, violation: Violation, view: DatabaseView) -> bool:
+        token = view.change_token()
+        if token is None:
+            return violation.still_holds(view)
+        if token != self._holds_token:
+            self._holds_token = token
+            self._holds_memo.clear()
+        verdict = self._holds_memo.get(violation)
+        if verdict is None:
+            verdict = violation.still_holds(view)
+            self._holds_memo[violation] = verdict
+        return verdict
 
     @property
     def mappings(self) -> List:
@@ -65,13 +86,13 @@ class RepairPlanner:
         view: DatabaseView,
     ) -> List[Violation]:
         """Drop satisfied violations, append new ones, keep FIFO order."""
-        kept = [violation for violation in queue if violation.still_holds(view)]
+        kept = [violation for violation in queue if self._still_holds(violation, view)]
         for stale in list(self._firings):
-            if not stale.still_holds(view):
+            if not self._still_holds(stale, view):
                 del self._firings[stale]
         existing = set(kept)
         for violation in new_violations:
-            if violation not in existing and violation.still_holds(view):
+            if violation not in existing and self._still_holds(violation, view):
                 kept.append(violation)
                 existing.add(violation)
         return kept
@@ -96,7 +117,7 @@ class RepairPlanner:
         view: DatabaseView,
         recorder: Optional[ReadRecorder],
     ) -> Optional[RepairPlan]:
-        if not violation.still_holds(view):
+        if not self._still_holds(violation, view):
             self._firings.pop(violation, None)
             return None
         state = self._firings.get(violation)
@@ -209,3 +230,5 @@ class RepairPlanner:
     def reset(self) -> None:
         """Forget all firing state (used when an update aborts and restarts)."""
         self._firings.clear()
+        self._holds_token = None
+        self._holds_memo.clear()

@@ -24,12 +24,16 @@ class Tuple:
     not here.
     """
 
-    __slots__ = ("_relation", "_values", "_hash")
+    __slots__ = ("_relation", "_values", "_hash", "_null_set")
 
     def __init__(self, relation: str, values: Iterable[object]):
         self._relation = relation
         self._values: PyTuple[DataTerm, ...] = tuple(as_data_term(v) for v in values)
         self._hash = hash((self._relation, self._values))
+        #: Lazily computed by :meth:`null_set` — tuples are immutable and the
+        #: set is consulted on every log append, content indexing and
+        #: conflict pre-filter, so recomputing it per call was pure churn.
+        self._null_set: Optional[frozenset] = None
 
     @property
     def relation(self) -> str:
@@ -75,12 +79,16 @@ class Tuple:
         return tuple(value for value in self._values if is_null(value))
 
     def null_set(self) -> frozenset:
-        """The set of distinct labeled nulls occurring in this tuple."""
-        return frozenset(value for value in self._values if is_null(value))
+        """The set of distinct labeled nulls occurring in this tuple (cached)."""
+        cached = self._null_set
+        if cached is None:
+            cached = frozenset(value for value in self._values if is_null(value))
+            self._null_set = cached
+        return cached
 
     def has_nulls(self) -> bool:
         """``True`` when at least one field is a labeled null."""
-        return any(is_null(value) for value in self._values)
+        return bool(self.null_set())
 
     def is_ground(self) -> bool:
         """``True`` when every field is a constant."""

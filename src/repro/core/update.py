@@ -43,6 +43,16 @@ class UserOperation(ABC):
     def describe(self) -> str:
         """One-line human-readable description."""
 
+    def target_relations(self) -> Optional[frozenset]:
+        """The relations this operation's *initial* writes touch, if knowable.
+
+        Used by compatible-group admission to batch operations whose seeds
+        are pairwise disjoint (the chase may of course cascade further).
+        ``None`` (the default) means "unknown" — such operations are admitted
+        in a group of their own.
+        """
+        return None
+
     def __repr__(self) -> str:
         return "{}({})".format(type(self).__name__, self.describe())
 
@@ -64,6 +74,9 @@ class InsertOperation(UserOperation):
             return []
         return [insert(self.row)]
 
+    def target_relations(self) -> Optional[frozenset]:
+        return frozenset((self.row.relation,))
+
     def describe(self) -> str:
         return "insert {!r}".format(self.row)
 
@@ -82,6 +95,9 @@ class DeleteOperation(UserOperation):
         if not view.contains(self.row):
             return []
         return [delete(self.row)]
+
+    def target_relations(self) -> Optional[frozenset]:
+        return frozenset((self.row.relation,))
 
     def describe(self) -> str:
         return "delete {!r}".format(self.row)

@@ -35,7 +35,13 @@ from .envelopes import (
     QuestionOpened,
     RemoteUpdate,
 )
-from .exchange import CrossMapping, ExchangeRules, FederationError, envelopes_for_commit
+from .exchange import (
+    CrossMapping,
+    ExchangeRules,
+    FederationError,
+    coalesce_envelopes,
+    envelopes_for_commit,
+)
 from .network import (
     FederatedNetwork,
     FederatedQuestion,
@@ -44,9 +50,10 @@ from .network import (
 )
 from .operations import RemoteFiringOperation, RemoteRetractionOperation
 from .peer import Peer
-from .transport import Envelope, Transport
+from .transport import Bundle, Envelope, Transport
 
 __all__ = [
+    "Bundle",
     "CommitNotice",
     "ConvergenceReport",
     "CrossMapping",
@@ -69,6 +76,7 @@ __all__ = [
     "RemoteUpdate",
     "Transport",
     "check_convergence",
+    "coalesce_envelopes",
     "databases_equivalent",
     "envelopes_for_commit",
     "find_homomorphism",

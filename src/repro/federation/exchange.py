@@ -40,7 +40,12 @@ from ..service.tickets import RemoteOrigin
 from ..storage.interface import DatabaseView
 from ..storage.overlay import OverlayView
 from ..storage.versioned import VersionedWrite
-from .envelopes import ExchangeFiring, ExchangeRetraction, freeze_assignment
+from .envelopes import (
+    CommitNotice,
+    ExchangeFiring,
+    ExchangeRetraction,
+    freeze_assignment,
+)
 
 
 class FederationError(ValueError):
@@ -105,6 +110,18 @@ class ExchangeRules:
     def local_mappings(self, peer: str) -> List[Tgd]:
         """The mappings peer *peer* chases natively."""
         return list(self.local.get(peer, ()))
+
+    def exchange_relations(self, peer: str) -> FrozenSet[str]:
+        """Relations of *peer* whose writes can produce exchange envelopes.
+
+        The union of the peer's outgoing (LHS) and incoming (RHS) cross-
+        mapping relations.  A committed write set touching none of them can
+        be skipped by the commit-time exchange without evaluating anything —
+        the common case for purely local cascades.
+        """
+        relations = set(self._outgoing.get(peer, ()))
+        relations.update(self._incoming.get(peer, ()))
+        return frozenset(relations)
 
     def outgoing(self, peer: str, relation: str) -> Sequence[CrossMapping]:
         """Cross mappings fired by writes of *peer* into *relation* (LHS side)."""
@@ -218,3 +235,68 @@ def envelopes_for_commit(
                         )
                     )
     return payloads
+
+
+def coalesce_envelopes(
+    staged: Sequence[PyTuple[str, object]],
+) -> List[PyTuple[str, object]]:
+    """Coalesce one commit batch's staged ``(destination, payload)`` pairs.
+
+    Three in-order rewrites, each preserving the destination's observable
+    outcome (delivery is per-link FIFO, and a batch is flushed as one bundle,
+    so "deliver the coalesced sequence" ≡ "deliver the original sequence"):
+
+    * **Dedup absorbed firings.**  A second firing of the same
+      ``(tgd, exported assignment)`` to the same destination would be
+      absorbed on arrival (its RHS match already exists) — drop it.  Its
+      head rows may carry differently-named fresh nulls, but chase results
+      are identities only up to null renaming, so keeping the first is
+      enough.
+    * **Cancel firing→retraction pairs.**  A firing followed (within the
+      batch) by a retraction of the same key nets to nothing remotely: the
+      firing's head rows would be inserted and then retracted before anything
+      else could observe them.  Both drop; a *later* firing of the key is
+      re-emitted fresh.  Under the current routing this rule is *defensive*:
+      a tgd's firings go to its RHS owner and its retractions to its LHS
+      owner, and :class:`ExchangeRules` guarantees those differ, so no peer
+      can stage both sides of a key today — the rule keeps the rewrite sound
+      for any future payload source that can.
+    * **Merge commit notices.**  Several notices for the same origin collapse
+      to the last (terminal states do not regress; duplicates simply
+      re-deliver knowledge the origin already has).
+
+    Question-routing payloads and remote updates pass through untouched —
+    their per-message identity matters (answers and cancellations reference
+    individual decisions).
+    """
+    kept: List[Optional[PyTuple[str, object]]] = []
+    live_firing: Dict[PyTuple[str, Tgd, frozenset], int] = {}
+    seen_retraction: Set[PyTuple[str, Tgd, frozenset]] = set()
+    notice_at: Dict[PyTuple[str, RemoteOrigin], int] = {}
+    for destination, payload in staged:
+        if isinstance(payload, ExchangeFiring):
+            key = (destination, payload.tgd, payload.assignment_items)
+            if key in live_firing:
+                continue  # duplicate: would be absorbed on arrival
+            live_firing[key] = len(kept)
+            kept.append((destination, payload))
+        elif isinstance(payload, ExchangeRetraction):
+            key = (destination, payload.tgd, payload.assignment_items)
+            index = live_firing.pop(key, None)
+            if index is not None:
+                kept[index] = None  # the pair cancels
+                continue
+            if key in seen_retraction:
+                continue
+            seen_retraction.add(key)
+            kept.append((destination, payload))
+        elif isinstance(payload, CommitNotice):
+            key = (destination, payload.origin)
+            previous = notice_at.get(key)
+            if previous is not None:
+                kept[previous] = None  # merged into this (later) notice
+            notice_at[key] = len(kept)
+            kept.append((destination, payload))
+        else:
+            kept.append((destination, payload))
+    return [entry for entry in kept if entry is not None]

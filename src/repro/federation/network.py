@@ -55,7 +55,7 @@ from .envelopes import (
 from .exchange import ExchangeRules, FederationError
 from .operations import RemoteFiringOperation, RemoteRetractionOperation
 from .peer import Peer
-from .transport import Envelope, Transport
+from .transport import Bundle, Envelope, Transport
 
 
 @dataclass
@@ -135,8 +135,10 @@ class FederatedNetwork:
         ownership: Dict[str, Sequence[str]],
         tracker: str = "PRECISE",
         transport: Optional[Transport] = None,
-        admission: Optional[AdmissionConfig] = None,
+        admission: Union[AdmissionConfig, Dict[str, AdmissionConfig], None] = None,
         max_total_steps: int = 1_000_000,
+        coalesce_envelopes: bool = True,
+        group_commit: bool = True,
     ):
         self.schema = schema
         owner_of: Dict[str, str] = {}
@@ -163,6 +165,10 @@ class FederatedNetwork:
         self.owner_of = owner_of
         self.rules = ExchangeRules(mappings, owner_of)
         self.transport = transport if transport is not None else Transport()
+        #: Coalesce commit batches' envelopes and flush per-destination
+        #: bundles; ``False`` restores per-envelope staging and sends (the
+        #: reference behavior the coalescing differential tests compare to).
+        self.coalesce_envelopes = coalesce_envelopes
         self._peers: Dict[str, Peer] = {}
         for peer_name, relations in ownership.items():
             contents = {
@@ -171,12 +177,19 @@ class FederatedNetwork:
                 else frozenset()
                 for relation in schema.relation_names()
             }
+            if isinstance(admission, dict):
+                # Heterogeneous federations: each peer may run its own
+                # admission policy (slow archive, fast edge).
+                peer_admission = admission.get(peer_name)
+            else:
+                peer_admission = admission
             service = RepositoryService(
                 FrozenDatabase(schema, contents),
                 self.rules.local_mappings(peer_name),
                 tracker=tracker,
-                admission=admission,
+                admission=peer_admission,
                 max_total_steps=max_total_steps,
+                group_commit=group_commit,
                 # Peer-unique null prefixes: two peers' chases must never mint
                 # the same labeled null, or shipping a head row would silently
                 # identify two unrelated unknowns at the destination.
@@ -192,6 +205,7 @@ class FederatedNetwork:
                 firing_factory=NullFactory.avoiding_view(
                     initial, prefix="{}f".format(peer_name)
                 ),
+                coalesce=coalesce_envelopes,
             )
         self._inboxes: Dict[str, Dict[PyTuple[str, int], FederatedQuestion]] = {
             name: {} for name in self._peers
@@ -323,15 +337,43 @@ class FederatedNetwork:
             peer.scan_failures()
         self._mirror_local_tickets()
         for peer in self._peers.values():
-            for destination, payload in peer.outbox:
-                self.transport.send(peer.name, destination, payload)
-                report.flushed += 1
+            if not peer.outbox:
+                continue
+            if self.coalesce_envelopes:
+                # Per-destination bundle flush: every payload staged for the
+                # same peer this round shares one envelope (one queue slot,
+                # one delay, one delivery).
+                order: List[str] = []
+                by_destination: Dict[str, List[object]] = {}
+                for destination, payload in peer.outbox:
+                    if destination not in by_destination:
+                        order.append(destination)
+                        by_destination[destination] = []
+                    by_destination[destination].append(payload)
+                    report.flushed += 1
+                for destination in order:
+                    self.transport.send_bundle(
+                        peer.name, destination, by_destination[destination]
+                    )
+            else:
+                for destination, payload in peer.outbox:
+                    self.transport.send(peer.name, destination, payload)
+                    report.flushed += 1
             peer.outbox.clear()
         return report
 
     def _deliver(self, envelope: Envelope) -> None:
-        peer = self.peer(envelope.destination)
         payload = envelope.payload
+        if isinstance(payload, Bundle):
+            # Bundles unpack in order, so delivery is indistinguishable from
+            # the payloads having arrived back-to-back on a FIFO link.
+            for inner in payload.payloads:
+                self._deliver_payload(envelope.source, envelope.destination, inner)
+        else:
+            self._deliver_payload(envelope.source, envelope.destination, payload)
+
+    def _deliver_payload(self, source: str, destination: str, payload: object) -> None:
+        peer = self.peer(destination)
         if isinstance(payload, (RemoteUpdate, ExchangeFiring, ExchangeRetraction)):
             if isinstance(payload, RemoteUpdate):
                 operation = payload.operation
@@ -349,9 +391,10 @@ class FederatedNetwork:
                 )
             except AdmissionError:
                 # The destination's bounded admission queue is full.  Nothing
-                # may be lost: put the envelope back on the wire and try again
-                # on a later pump (transport backpressure, not a crash).
-                self.transport.send(envelope.source, envelope.destination, payload)
+                # may be lost: put the payload back on the wire (bare, even if
+                # it arrived bundled) and try again on a later pump (transport
+                # backpressure, not a crash).
+                self.transport.send(source, destination, payload)
                 self.deliveries_deferred += 1
                 return
             if isinstance(payload, RemoteUpdate):
@@ -368,10 +411,10 @@ class FederatedNetwork:
                 origin=payload.origin,
                 description=payload.ticket_description,
             )
-            self._inboxes[envelope.destination][federated.key] = federated
+            self._inboxes[destination][federated.key] = federated
             self.questions_routed += 1
         elif isinstance(payload, QuestionCancelled):
-            removed = self._inboxes[envelope.destination].pop(
+            removed = self._inboxes[destination].pop(
                 (payload.executing_peer, payload.decision_id), None
             )
             if removed is not None:
@@ -408,10 +451,10 @@ class FederatedNetwork:
     def inbox(self, peer_name: str) -> List[FederatedQuestion]:
         """The open questions answerable at *peer_name*, oldest first."""
         self.peer(peer_name)
-        return [
-            question
-            for _, question in sorted(self._inboxes[peer_name].items())
-        ]
+        questions = self._inboxes[peer_name]
+        if not questions:
+            return []
+        return [question for _, question in sorted(questions.items())]
 
     def answer(
         self,
@@ -526,6 +569,9 @@ class FederatedNetwork:
             "firings_emitted": sum(p.firings_emitted for p in self._peers.values()),
             "retractions_emitted": sum(
                 p.retractions_emitted for p in self._peers.values()
+            ),
+            "envelopes_coalesced": sum(
+                p.envelopes_coalesced for p in self._peers.values()
             ),
         }
         data.update(self.transport.metrics())

@@ -76,6 +76,9 @@ class RemoteFiringOperation(UserOperation):
             return []
         return [insert(row) for row in self.head_rows if not view.contains(row)]
 
+    def target_relations(self):
+        return frozenset(row.relation for row in self.head_rows)
+
     def describe(self) -> str:
         return "fire {} [{}]".format(self.tgd.name, _assignment_text(self.assignment))
 
@@ -106,6 +109,9 @@ class RemoteRetractionOperation(UserOperation):
             chosen.add(target)
             writes.append(delete(target))
         return writes
+
+    def target_relations(self):
+        return get_plan(self.tgd).lhs_relations
 
     def describe(self) -> str:
         return "retract {} [{}]".format(self.tgd.name, _assignment_text(self.assignment))

@@ -26,10 +26,11 @@ from ..service.tickets import RemoteOrigin, TicketStatus
 from .envelopes import (
     CommitNotice,
     ExchangeFiring,
+    ExchangeRetraction,
     QuestionCancelled,
     QuestionOpened,
 )
-from .exchange import ExchangeRules, envelopes_for_commit
+from .exchange import ExchangeRules, coalesce_envelopes, envelopes_for_commit
 
 
 class Peer:
@@ -42,12 +43,19 @@ class Peer:
         owned_relations: PyTuple[str, ...],
         rules: ExchangeRules,
         firing_factory: NullFactory,
+        coalesce: bool = True,
     ):
         self.name = name
         self.service = service
         self.owned = frozenset(owned_relations)
         self._rules = rules
         self._firing_factory = firing_factory
+        #: Relations whose writes can produce exchange envelopes here; write
+        #: sets touching none of them skip commit-time exchange entirely.
+        self._exchange_relations = rules.exchange_relations(name)
+        #: Coalesce each commit batch's envelopes before staging (dedup
+        #: absorbed firings, cancel firing/retraction pairs, merge notices).
+        self._coalesce = coalesce
         #: The session envelope deliveries are submitted under.
         self.gateway = service.open_session("federation:{}".format(name))
         #: Staged ``(destination, payload)`` pairs; the network flushes them
@@ -65,7 +73,9 @@ class Peer:
         self.firings_emitted = 0
         self.retractions_emitted = 0
         self.notices_emitted = 0
-        service.add_commit_listener(self._on_commit)
+        #: Envelopes the per-batch coalescing dropped before the wire.
+        self.envelopes_coalesced = 0
+        service.add_batch_commit_listener(self._on_batch_commit)
 
     # ------------------------------------------------------------------
     # Commit-time exchange
@@ -74,7 +84,37 @@ class Peer:
         """Mark a delivered routed update: its commit must be reported home."""
         self._notify[ticket_id] = origin
 
-    def _on_commit(self, priority: int, writes) -> None:
+    def _on_batch_commit(self, commits) -> None:
+        """Scheduler batch listener: one staging round per commit batch.
+
+        The whole batch's envelopes are produced first, coalesced together
+        (duplicates across the batch's members are exactly what the
+        per-commit listener could never see), and only then staged for the
+        network's per-destination bundle flush.
+        """
+        staged: List[PyTuple[str, object]] = []
+        for priority, writes in commits:
+            self._stage_commit(priority, writes, staged)
+        if self._coalesce and len(staged) > 1:
+            coalesced = coalesce_envelopes(staged)
+            self.envelopes_coalesced += len(staged) - len(coalesced)
+            staged = coalesced
+        for destination, payload in staged:
+            if isinstance(payload, ExchangeFiring):
+                self.firings_emitted += 1
+            elif isinstance(payload, ExchangeRetraction):
+                self.retractions_emitted += 1
+            elif isinstance(payload, CommitNotice):
+                self.notices_emitted += 1
+            self.outbox.append((destination, payload))
+
+    def _stage_commit(
+        self,
+        priority: int,
+        writes,
+        staged: List[PyTuple[str, object]],
+    ) -> None:
+        """Produce one committed update's envelopes into *staged*."""
         ticket = self.service.ticket_for_priority(priority)
         if ticket is not None and ticket.origin is not None:
             origin = ticket.origin
@@ -82,20 +122,18 @@ class Peer:
             origin = RemoteOrigin(
                 self.name, ticket.ticket_id if ticket is not None else 0
             )
-        if writes:
+        if writes and any(
+            logged.write.relation in self._exchange_relations for logged in writes
+        ):
             view = self.service.scheduler.store.view_for(priority)
-            for destination, payload in envelopes_for_commit(
-                self._rules, self.name, writes, view, self._firing_factory, origin
-            ):
-                if isinstance(payload, ExchangeFiring):
-                    self.firings_emitted += 1
-                else:
-                    self.retractions_emitted += 1
-                self.outbox.append((destination, payload))
+            staged.extend(
+                envelopes_for_commit(
+                    self._rules, self.name, writes, view, self._firing_factory, origin
+                )
+            )
         if ticket is not None and ticket.ticket_id in self._notify:
             notify_origin = self._notify.pop(ticket.ticket_id)
-            self.notices_emitted += 1
-            self.outbox.append(
+            staged.append(
                 (
                     notify_origin.peer,
                     CommitNotice(origin=notify_origin, status=TicketStatus.COMMITTED),
@@ -140,9 +178,14 @@ class Peer:
         remote-origin ones a :class:`QuestionCancelled` was staged unless the
         question disappeared because we answered it).
         """
+        questions = self.service.inbox()
+        if not self._known_questions and not questions:
+            # Nothing known, nothing open: the diff is empty (the common
+            # case on every quiet federation round).
+            return [], []
         opened_local: List[InboxQuestion] = []
         open_ids: Set[int] = set()
-        for question in self.service.inbox():
+        for question in questions:
             open_ids.add(question.decision_id)
             if question.decision_id in self._known_questions:
                 continue

@@ -49,17 +49,36 @@ Assignment = Dict[Variable, DataTerm]
 Match = PyTuple[Assignment, PyTuple[Tuple, ...]]
 
 
+#: Cardinality estimates are quantized to power-of-two buckets before they
+#: key a cached ordering: a relation re-plans exactly when it grows (or
+#: shrinks) past a bucket boundary, and — because the signature is a pure
+#: function of the live estimates — plans shared process-wide through
+#: :func:`get_plan` can never leak one store's statistics into another's
+#: orderings (same store state, same ordering, regardless of history).
+def _cardinality_bucket(estimate: int) -> int:
+    return estimate.bit_length()
+
+
 class CompiledConjunction:
     """A conjunction of atoms with memoized join orderings.
 
-    The ordering heuristic is the one from :mod:`repro.query.homomorphism`
-    (most bound positions first, ties broken by fewer distinct unbound
-    variables).  It depends only on *which* variables are bound — not on
-    their values — so orderings are cached per bound-variable set; a chase
-    asks for the same handful of seeds over and over.
+    The static ordering heuristic is the one from
+    :mod:`repro.query.homomorphism` (most bound positions first, ties broken
+    by fewer distinct unbound variables).  It depends only on *which*
+    variables are bound — not on their values — so orderings are cached per
+    bound-variable set; a chase asks for the same handful of seeds over and
+    over.
+
+    When the view offers O(1) relation-cardinality estimates
+    (:meth:`~repro.storage.interface.DatabaseView.cardinality_estimate`),
+    :meth:`ordering_for` refines the static tie-break: among equally-bound
+    atoms the *cheapest* relation is matched first (smallest live
+    cardinality), and the cached ordering is re-planned once the store's
+    stamps show some relation grew past a threshold — live statistics instead
+    of the purely structural most-bound-first rule.
     """
 
-    __slots__ = ("atoms", "_variable_set", "_orderings")
+    __slots__ = ("atoms", "_variable_set", "_orderings", "_live_orderings")
 
     def __init__(self, atoms: Sequence[Atom]):
         self.atoms: PyTuple[Atom, ...] = tuple(atoms)
@@ -69,6 +88,15 @@ class CompiledConjunction:
         self._variable_set: FrozenSet[Variable] = frozenset(variables)
         # bound-variable frozenset -> tuple of (atom, original position)
         self._orderings: Dict[FrozenSet[Variable], PyTuple[PyTuple[Atom, int], ...]] = {}
+        # (bound-variable frozenset, per-atom cardinality-bucket signature)
+        # -> ordering; consulted by ordering_for.  Keying on the quantized
+        # live statistics makes the cache store-agnostic: plans are shared
+        # process-wide, and two stores with different relation sizes simply
+        # hit different signature entries.
+        self._live_orderings: Dict[
+            PyTuple[FrozenSet[Variable], PyTuple[int, ...]],
+            PyTuple[PyTuple[Atom, int], ...],
+        ] = {}
 
     @property
     def variable_set(self) -> FrozenSet[Variable]:
@@ -107,6 +135,61 @@ class CompiledConjunction:
         self._orderings[key] = ordered
         return ordered
 
+    def ordering_for(
+        self, bound: FrozenSet[Variable], view: DatabaseView
+    ) -> PyTuple[PyTuple[Atom, int], ...]:
+        """The match ordering for *bound* refined by *view*'s live statistics.
+
+        Falls back to the static :meth:`ordering` when the view has no cheap
+        cardinality estimates.  Cardinality-aware orderings are cached per
+        (bound variables, quantized cardinality signature): the ordering is
+        recomputed exactly when some atom's relation crossed a power-of-two
+        size bucket since it was planned — a relation that was empty at plan
+        time may have become the most expensive one to scan first — and the
+        signature keying keeps the process-shared plan cache store-agnostic.
+        """
+        if len(self.atoms) <= 1:
+            return self.ordering(bound)
+        estimates: List[int] = []
+        for atom in self.atoms:
+            estimate = view.cardinality_estimate(atom.relation)
+            if estimate is None:
+                return self.ordering(bound)
+            estimates.append(estimate)
+        bound_key = bound & self._variable_set
+        buckets = tuple(_cardinality_bucket(estimate) for estimate in estimates)
+        key = (bound_key, buckets)
+        cached = self._live_orderings.get(key)
+        if cached is not None:
+            return cached
+
+        def score(entry: PyTuple[Atom, int]) -> PyTuple[int, int, int]:
+            atom, position = entry
+            bound_count = 0
+            unbound = set()
+            for term in atom.terms:
+                if is_variable(term):
+                    if term in bound_key:
+                        bound_count += 1
+                    else:
+                        unbound.add(term)
+                else:
+                    bound_count += 1
+            # Most-bound first (selectivity from bindings dominates), then
+            # cheapest relation among equally-bound atoms (compared by size
+            # bucket, so the ordering is a pure function of the cache key),
+            # then the static fewest-unbound tie-break.
+            return (-bound_count, buckets[position], len(unbound))
+
+        ordered = tuple(
+            sorted(
+                ((atom, position) for position, atom in enumerate(self.atoms)),
+                key=score,
+            )
+        )
+        self._live_orderings[key] = ordered
+        return ordered
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
@@ -122,7 +205,7 @@ class CompiledConjunction:
         minus the per-call ordering and index-permutation work.
         """
         seed: Assignment = dict(assignment) if assignment else {}
-        ordered = self.ordering(frozenset(seed))
+        ordered = self.ordering_for(frozenset(seed), view)
         atom_count = len(ordered)
         results: List[Match] = []
 

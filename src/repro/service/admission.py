@@ -6,13 +6,22 @@ the service does not hand every submission to the scheduler immediately.
 Submissions wait in a FIFO :class:`AdmissionQueue` and are admitted in batches
 of :attr:`AdmissionConfig.batch_size`, keeping at most
 :attr:`AdmissionConfig.max_in_flight` updates executing concurrently.
+
+With :attr:`AdmissionConfig.compatible_groups` the controller admits
+*compatible groups*: each batch is the longest FIFO prefix of waiting tickets
+whose operations seed pairwise-disjoint relations (the chase can still
+cascade anywhere, but updates starting on the same relation are the ones most
+likely to invalidate each other's reads immediately).  FIFO order is
+preserved — an incompatible ticket ends the batch, it is never overtaken —
+and operations whose write set is unknowable up front are admitted in a group
+of their own.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional
+from typing import Deque, FrozenSet, List, Optional, Set
 
 from .tickets import UpdateTicket
 
@@ -32,6 +41,9 @@ class AdmissionConfig:
     batch_size: int = 4
     #: Maximum admission-queue depth; ``None`` means unbounded.
     max_queue_depth: Optional[int] = None
+    #: Admit compatible groups: stop each admission batch at the first queued
+    #: ticket whose target relations overlap one already taken this batch.
+    compatible_groups: bool = False
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
@@ -67,15 +79,28 @@ class AdmissionQueue:
         """Tickets to admit now, given *in_flight* updates already executing.
 
         Takes at most ``batch_size`` tickets and never lets the total exceed
-        ``max_in_flight``.
+        ``max_in_flight``; with ``compatible_groups`` the batch additionally
+        stops at the first ticket incompatible with the group taken so far.
         """
         slots = min(
             self.config.batch_size, self.config.max_in_flight - in_flight
         )
         admitted: List[UpdateTicket] = []
+        if not self.config.compatible_groups:
+            while slots > 0 and self._queue:
+                admitted.append(self._queue.popleft())
+                slots -= 1
+            return admitted
+        taken: Set[str] = set()
         while slots > 0 and self._queue:
+            relations: Optional[FrozenSet[str]] = self._queue[0].operation.target_relations()
+            if admitted and (relations is None or relations & taken):
+                break
             admitted.append(self._queue.popleft())
             slots -= 1
+            if relations is None:
+                break  # unknowable write set: a group of its own
+            taken |= relations
         return admitted
 
     def peek_all(self) -> List[UpdateTicket]:

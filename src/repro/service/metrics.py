@@ -134,7 +134,9 @@ class ServiceMetrics:
             "frontier_wait_p50_seconds": self.frontier_wait_p50(),
             "frontier_wait_p95_seconds": self.frontier_wait_p95(),
             "queue_wait_p50_seconds": percentile(self.queue_waits, 0.5),
+            "queue_wait_p95_seconds": percentile(self.queue_waits, 0.95),
             "turnaround_p50_seconds": percentile(self.turnarounds, 0.5),
+            "turnaround_p95_seconds": percentile(self.turnarounds, 0.95),
         }
         if store is not None:
             data["store_log_entries"] = store.log_size()

@@ -77,6 +77,7 @@ class RepositoryService:
         max_total_steps: int = 1_000_000,
         clock: Callable[[], float] = time.perf_counter,
         null_factory: Optional[NullFactory] = None,
+        group_commit: bool = True,
     ):
         if isinstance(tracker, str):
             tracker = make_tracker(tracker)
@@ -95,6 +96,7 @@ class RepositoryService:
             null_factory=null_factory,
             max_total_steps=max_total_steps,
             prune_committed=True,
+            group_commit=group_commit,
         )
         self._scheduler.add_restart_listener(self._on_restart)
         self._queue = AdmissionQueue(admission)
@@ -208,6 +210,12 @@ class RepositoryService:
         for ticket in self._queue.take(self._in_flight_count()):
             self._admit(ticket)
             report.admitted.append(ticket)
+        if not report.admitted and self._scheduler.is_idle:
+            # Idle fast path: no admission and nothing runnable means no
+            # steps, no commits and no new questions since the last pump —
+            # reconciliation would be a no-op scan.  Federation networks pump
+            # every peer every round, so idle pumps are the common case.
+            return report
         try:
             report.steps = self._scheduler.pump(max_steps)
         except SchedulerStalled:
@@ -380,6 +388,10 @@ class RepositoryService:
     def add_commit_listener(self, listener: Callable[[int, List], None]) -> None:
         """Register a scheduler commit listener (see the scheduler's docs)."""
         self._scheduler.add_commit_listener(listener)
+
+    def add_batch_commit_listener(self, listener: Callable[[List], None]) -> None:
+        """Register a scheduler batch commit listener (see the scheduler's docs)."""
+        self._scheduler.add_batch_commit_listener(listener)
 
     def metrics_snapshot(self) -> Dict[str, float]:
         """Flat service+scheduler metrics dictionary (with store gauges)."""

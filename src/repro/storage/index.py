@@ -23,20 +23,32 @@ class PositionIndex:
     def __init__(self) -> None:
         self._by_value: Dict[PyTuple[str, int, DataTerm], Set[Tuple]] = defaultdict(set)
         self._by_null: Dict[LabeledNull, Set[Tuple]] = defaultdict(set)
+        #: Number of rows indexed, maintained incrementally: ``len()`` used to
+        #: recount every value bucket on each call (O(#buckets)), which turned
+        #: the introspection gauges into accidental full scans.
+        self._size = 0
 
     def add(self, row: Tuple) -> None:
-        """Index *row*."""
+        """Index *row* (idempotent)."""
+        changed = False
         for position, value in enumerate(row.values):
-            self._by_value[(row.relation, position, value)].add(row)
+            bucket = self._by_value[(row.relation, position, value)]
+            if row not in bucket:
+                bucket.add(row)
+                changed = True
         for null in row.null_set():
             self._by_null[null].add(row)
+        if changed or not row.values:
+            self._size += 1
 
     def remove(self, row: Tuple) -> None:
         """Remove *row* from the index (no-op if absent)."""
+        removed = False
         for position, value in enumerate(row.values):
             bucket = self._by_value.get((row.relation, position, value))
-            if bucket is not None:
+            if bucket is not None and row in bucket:
                 bucket.discard(row)
+                removed = True
                 if not bucket:
                     del self._by_value[(row.relation, position, value)]
         for null in row.null_set():
@@ -45,6 +57,42 @@ class PositionIndex:
                 bucket.discard(row)
                 if not bucket:
                     del self._by_null[null]
+        if removed:
+            self._size -= 1
+
+    def add_many(self, rows: Iterable[Tuple]) -> None:
+        """Bulk-index *rows*: the per-row bucket lookups are shared per key.
+
+        Groups the batch by bucket key first, so each ``(relation, position,
+        value)`` dict entry is touched once per batch instead of once per row
+        — the write-amplification the per-row path pays on bursty loads.
+        """
+        grouped: Dict[PyTuple[str, int, DataTerm], List[Tuple]] = {}
+        null_grouped: Dict[LabeledNull, List[Tuple]] = {}
+        for row in rows:
+            counted = False
+            for position, value in enumerate(row.values):
+                grouped.setdefault((row.relation, position, value), []).append(row)
+                counted = True
+            for null in row.null_set():
+                null_grouped.setdefault(null, []).append(row)
+            if not counted:
+                self._size += 1
+        for key, members in grouped.items():
+            bucket = self._by_value[key]
+            before = len(bucket)
+            bucket.update(members)
+            if key[1] == 0:
+                # Position-0 membership is 1:1 with row membership, so the
+                # size delta of those buckets is the row count delta.
+                self._size += len(bucket) - before
+        for null, members in null_grouped.items():
+            self._by_null[null].update(members)
+
+    def remove_many(self, rows: Iterable[Tuple]) -> None:
+        """Bulk-remove *rows* (each a no-op if absent)."""
+        for row in rows:
+            self.remove(row)
 
     def lookup(self, relation: str, position: int, value: DataTerm) -> Set[Tuple]:
         """Tuples of *relation* holding *value* at *position*."""
@@ -58,8 +106,8 @@ class PositionIndex:
         """Clear the index and re-index *rows* from scratch."""
         self._by_value.clear()
         self._by_null.clear()
-        for row in rows:
-            self.add(row)
+        self._size = 0
+        self.add_many(rows)
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._by_value.values())
+        return self._size

@@ -83,6 +83,27 @@ class DatabaseView(ABC):
         """Number of visible tuples in *relation*."""
         return sum(1 for _ in self.tuples(relation))
 
+    def cardinality_estimate(self, relation: str) -> Optional[int]:
+        """A cheap (O(1)) upper-bound estimate of ``count(relation)``.
+
+        Used by the compiled query planner to order joins cheapest-first.
+        ``None`` (the default) means "no cheap estimate available" — the
+        planner then falls back to its static ordering.  Backends with an
+        O(1) gauge (set sizes, tid buckets) override this; the estimate may
+        over-approximate but must never require scanning the relation.
+        """
+        return None
+
+    def change_token(self) -> Optional[object]:
+        """A value that changes whenever this view's visible contents may have.
+
+        Two calls returning the same (non-``None``) token guarantee the view
+        answered — and will answer — every query identically in between, so
+        pure read results can be memoized against it.  ``None`` (the default)
+        means "no cheap token available"; immutable views return a constant.
+        """
+        return None
+
     def total_count(self) -> int:
         """Total number of visible tuples across all relations."""
         return sum(self.count(relation) for relation in self.relations())

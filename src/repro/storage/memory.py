@@ -40,6 +40,12 @@ class FrozenDatabase(DatabaseView):
     def count(self, relation: str) -> int:
         return len(self._contents.get(relation, frozenset()))
 
+    def cardinality_estimate(self, relation: str) -> Optional[int]:
+        return len(self._contents.get(relation, frozenset()))
+
+    def change_token(self) -> Optional[object]:
+        return 0  # immutable: every read is memoizable forever
+
 
 class MemoryDatabase(MutableDatabase):
     """A mutable, indexed, single-version in-memory database."""
@@ -50,6 +56,8 @@ class MemoryDatabase(MutableDatabase):
             name: set() for name in schema.relation_names()
         }
         self._index = PositionIndex()
+        #: Monotone stamp bumped by every mutation (the change token).
+        self._stamp = 0
 
     # ------------------------------------------------------------------
     # DatabaseView
@@ -99,6 +107,14 @@ class MemoryDatabase(MutableDatabase):
         if candidates is None:
             # All-null pattern: every tuple of the relation is a candidate.
             candidates = self._relations.get(row.relation, set())
+        # Candidates already agree with ``row`` on its constant positions;
+        # with pairwise-distinct nulls the witnessing map has no further
+        # condition to check (see the versioned view's twin fast path).
+        nulls = [value for value in row.values if isinstance(value, LabeledNull)]
+        if len(nulls) == len(set(nulls)):
+            if self._schema.arity_of(row.relation) != len(row.values):
+                return []  # no stored tuple can match a wrong-arity pattern
+            return list(candidates)
         return [
             candidate
             for candidate in candidates
@@ -107,6 +123,12 @@ class MemoryDatabase(MutableDatabase):
 
     def count(self, relation: str) -> int:
         return len(self._relations.get(relation, set()))
+
+    def cardinality_estimate(self, relation: str) -> Optional[int]:
+        return len(self._relations.get(relation, set()))
+
+    def change_token(self) -> Optional[object]:
+        return self._stamp
 
     # ------------------------------------------------------------------
     # MutableDatabase
@@ -118,6 +140,7 @@ class MemoryDatabase(MutableDatabase):
             return False
         bucket.add(row)
         self._index.add(row)
+        self._stamp += 1
         return True
 
     def delete(self, row: Tuple) -> bool:
@@ -128,6 +151,7 @@ class MemoryDatabase(MutableDatabase):
             return False
         bucket.remove(row)
         self._index.remove(row)
+        self._stamp += 1
         return True
 
     def replace_null(self, null: LabeledNull, value: DataTerm) -> List[Tuple]:
@@ -161,6 +185,7 @@ class MemoryDatabase(MutableDatabase):
         for bucket in self._relations.values():
             bucket.clear()
         self._index.rebuild(())
+        self._stamp += 1
 
     def copy(self) -> "MemoryDatabase":
         """Deep copy of the store (tuples are immutable and shared)."""
@@ -171,11 +196,33 @@ class MemoryDatabase(MutableDatabase):
         return duplicate
 
     def load_from(self, view: DatabaseView) -> None:
-        """Replace the contents of this store by the contents of *view*."""
-        self.clear()
+        """Replace the contents of this store by the contents of *view*.
+
+        Bulk path: rows are validated and deduplicated per relation, then
+        indexed with one :meth:`PositionIndex.add_many` pass instead of a
+        per-row insert — loading is the burstiest write this store sees.
+        """
+        # Validate-then-commit: nothing is mutated until every incoming row
+        # passed, so a failing row leaves the (cleared-on-entry) store
+        # consistent instead of half-loaded with unindexed rows.
+        staged: Dict[str, List[Tuple]] = {}
         for relation in view.relations():
+            if relation not in self._relations:
+                raise SchemaError("unknown relation {!r}".format(relation))
+            seen: Set[Tuple] = set()
+            rows = staged.setdefault(relation, [])
             for row in view.tuples(relation):
-                self.insert(row)
+                if row not in seen:
+                    self._schema.validate_tuple(row)
+                    seen.add(row)
+                    rows.append(row)
+        self.clear()
+        fresh: List[Tuple] = []
+        for relation, rows in staged.items():
+            self._relations[relation].update(rows)
+            fresh.extend(rows)
+        self._index.add_many(fresh)
+        self._stamp += 1
 
     def __repr__(self) -> str:
         sizes = ", ".join(

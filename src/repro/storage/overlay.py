@@ -64,6 +64,14 @@ class OverlayView(DatabaseView):
             return True
         return self._base.contains(row)
 
+    def cardinality_estimate(self, relation: str) -> Optional[int]:
+        base = self._base.cardinality_estimate(relation)
+        if base is None:
+            return None
+        # Hidden rows stay counted (an upper bound is all the planner needs);
+        # added rows are few (one write's worth), so the sum stays O(1).
+        return base + sum(1 for row in self._added if row.relation == relation)
+
     def tuples_with_value(
         self, relation: str, position: int, value: DataTerm
     ) -> Iterator[Tuple]:

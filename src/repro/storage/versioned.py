@@ -326,12 +326,44 @@ class VersionedDatabase:
         return self._modify(write, priority)
 
     def apply_writes(self, writes, priority: int) -> List[VersionedWrite]:
-        """Apply several writes; returns the logged writes that had effect."""
-        applied = []
-        for write in writes:
-            logged = self.apply_write(write, priority)
-            if logged is not None:
-                applied.append(logged)
+        """Apply several writes; returns the logged writes that had effect.
+
+        This is the bulk write path (one chase step's write set arrives here
+        in one call): version-chain and content-index maintenance happen per
+        write as before, but the write-log indexes are extended with **one**
+        :meth:`extend_log` pass and the relation stamps are bumped once for
+        the batch's touched-relation union.  No read can interleave within
+        the call, so deferring the log/stamp maintenance to the end of the
+        batch is unobservable — every external consumer sees the same log and
+        the same stamp transitions as under the per-row path.
+        """
+        applied: List[VersionedWrite] = []
+        touched: Set[str] = set()
+        try:
+            for write in writes:
+                if write.kind is WriteKind.INSERT:
+                    logged = self._insert(write, priority, defer=True)
+                elif write.kind is WriteKind.DELETE:
+                    logged = self._delete(write, priority, defer=True)
+                else:
+                    logged = self._modify(write, priority, defer=True)
+                if logged is not None:
+                    applied.append(logged)
+                    touched.add(write.row.relation)
+                    if write.old_row is not None:
+                        touched.add(write.old_row.relation)
+        except BaseException:
+            # A failing write (bad arity, malformed modification) must not
+            # leave earlier applied versions unlogged: rollback() undoes an
+            # update through its log entries, so the log is completed for
+            # whatever was applied before re-raising.
+            if applied:
+                self.extend_log(applied)
+                self._bump_relations(touched)
+            raise
+        if applied:
+            self.extend_log(applied)
+            self._bump_relations(touched)
         return applied
 
     def _next_seq(self) -> int:
@@ -358,8 +390,46 @@ class VersionedDatabase:
             for null in touched_nulls:
                 null_buckets.setdefault(null, []).append(entry)
 
+    def extend_log(self, entries: Sequence[VersionedWrite]) -> None:
+        """Bulk-append *entries* (seq-ascending) to the log and its indexes.
+
+        The batch is grouped by writing priority first, so each per-priority
+        bucket dictionary is resolved once per batch instead of once per
+        entry — the dict-churn that made the per-row :meth:`_append_log` the
+        hot allocation site on bursty chase steps.  Callers must pass entries
+        in seq order with seqs above everything already logged (which is what
+        :meth:`apply_writes` produces); bucket seq-ordering relies on it.
+        """
+        if not entries:
+            return
+        self._write_log.extend(entries)
+        by_priority: Dict[int, List[VersionedWrite]] = {}
+        for entry in entries:
+            by_priority.setdefault(entry.priority, []).append(entry)
+        for priority, members in by_priority.items():
+            log = self._log_by_priority.setdefault(priority, [])
+            seqs = self._log_seqs.setdefault(priority, [])
+            relation_buckets = self._log_by_relation.setdefault(priority, {})
+            null_buckets: Optional[Dict[LabeledNull, List[VersionedWrite]]] = None
+            for entry in members:
+                log.append(entry)
+                seqs.append(entry.seq)
+                relation_buckets.setdefault(entry.write.relation, []).append(entry)
+                touched_nulls: Set[LabeledNull] = set()
+                for row in entry.write.rows_touched():
+                    touched_nulls.update(row.null_set())
+                if touched_nulls:
+                    if null_buckets is None:
+                        null_buckets = self._log_by_null.setdefault(priority, {})
+                    for null in touched_nulls:
+                        null_buckets.setdefault(null, []).append(entry)
+
     def _new_tuple(
-        self, row: Tuple, priority: int, log_write: Optional[Write]
+        self,
+        row: Tuple,
+        priority: int,
+        log_write: Optional[Write],
+        defer: bool = False,
     ) -> VersionedWrite:
         self._schema.validate_tuple(row)
         tid = next(self._tid_counter)
@@ -369,11 +439,12 @@ class VersionedDatabase:
         self._tuples[tid] = record
         self._by_relation[row.relation].add(tid)
         self._index_content(tid, row)
-        self._bump_relations((row.relation,))
+        if not defer:
+            self._bump_relations((row.relation,))
         logged = VersionedWrite(
             seq=seq, priority=priority, tid=tid, write=log_write or Write(WriteKind.INSERT, row)
         )
-        if log_write is not None:
+        if log_write is not None and not defer:
             self._append_log(logged)
         return logged
 
@@ -381,25 +452,31 @@ class VersionedDatabase:
         # Any identity whose visible content equals *row* must be indexed
         # under the first value of some version equal to *row* — so the first
         # position's bucket is a complete (over-approximate) candidate set,
-        # far smaller than the whole relation.
+        # far smaller than the whole relation.  Pure read: no store mutation
+        # can happen mid-scan, so the bucket is iterated without a copy.
         if row.values:
             candidates: Iterable[int] = self._value_index.get(
                 (row.relation, 0, row.values[0]), ()
             )
         else:  # pragma: no cover - zero-arity relations do not occur
             candidates = self._by_relation.get(row.relation, ())
-        for tid in tuple(candidates):
-            record = self._tuples.get(tid)
+        tuples = self._tuples
+        for tid in candidates:
+            record = tuples.get(tid)
             if record is not None and record.visible_content(priority) == row:
                 return tid
         return None
 
-    def _insert(self, write: Write, priority: int) -> Optional[VersionedWrite]:
+    def _insert(
+        self, write: Write, priority: int, defer: bool = False
+    ) -> Optional[VersionedWrite]:
         if self._find_visible_tid(write.row, priority) is not None:
             return None
-        return self._new_tuple(write.row, priority, log_write=write)
+        return self._new_tuple(write.row, priority, log_write=write, defer=defer)
 
-    def _delete(self, write: Write, priority: int) -> Optional[VersionedWrite]:
+    def _delete(
+        self, write: Write, priority: int, defer: bool = False
+    ) -> Optional[VersionedWrite]:
         tid = self._find_visible_tid(write.row, priority)
         if tid is None:
             return None
@@ -407,12 +484,15 @@ class VersionedDatabase:
         self._tuples[tid].versions.append(
             Version(seq=seq, priority=priority, content=None)
         )
-        self._bump_relations((write.row.relation,))
         logged = VersionedWrite(seq=seq, priority=priority, tid=tid, write=write)
-        self._append_log(logged)
+        if not defer:
+            self._bump_relations((write.row.relation,))
+            self._append_log(logged)
         return logged
 
-    def _modify(self, write: Write, priority: int) -> Optional[VersionedWrite]:
+    def _modify(
+        self, write: Write, priority: int, defer: bool = False
+    ) -> Optional[VersionedWrite]:
         if write.old_row is None:
             raise StorageError("modification write lacks its old content: {!r}".format(write))
         tid = self._find_visible_tid(write.old_row, priority)
@@ -423,13 +503,10 @@ class VersionedDatabase:
             Version(seq=seq, priority=priority, content=write.row)
         )
         self._index_content(tid, write.row)
-        self._bump_relations(
-            {write.row.relation, write.old_row.relation}
-            if write.old_row is not None
-            else (write.row.relation,)
-        )
         logged = VersionedWrite(seq=seq, priority=priority, tid=tid, write=write)
-        self._append_log(logged)
+        if not defer:
+            self._bump_relations({write.row.relation, write.old_row.relation})
+            self._append_log(logged)
         return logged
 
     # ------------------------------------------------------------------
@@ -679,18 +756,44 @@ class VersionedView(DatabaseView):
         # against its visible content (the index over-approximates).
         return self._store._find_visible_tid(row, self._priority) is not None
 
+    def cardinality_estimate(self, relation: str) -> Optional[int]:
+        # Tuple-identity count: an O(1) upper bound on the visible cardinality
+        # (identities with invisible/deleted versions are included).  Exactly
+        # what the cardinality-aware join planner wants — cheap and monotone
+        # with the relation's real size.
+        bucket = self._store._by_relation.get(relation)
+        if bucket is None:
+            return None
+        return len(bucket)
+
+    def change_token(self) -> Optional[object]:
+        # The store's global mutation stamp plus this view's visibility rule:
+        # equal tokens mean no version was created, removed or collapsed in
+        # between, so every query answer is unchanged.
+        return (self._store._mutation_stamp, self._priority)
+
     # ------------------------------------------------------------------
     # Index-accelerated correction queries (the chase hot path).
     # The store's indexes over-approximate (old versions, rolled-back
     # tids), so every hit is re-checked against the visible content.
     # ------------------------------------------------------------------
     def _visible_candidates(self, tids: Iterable[int]) -> Iterator[Tuple]:
+        # Live store sets are copied so callers may write mid-iteration;
+        # owned containers (fresh intersection results) pass through bare.
+        if isinstance(tids, (set, frozenset)):
+            tids = tuple(tids)
+        return self._visible_owned(tids)
+
+    def _visible_owned(self, tids: Iterable[int]) -> Iterator[Tuple]:
+        """Visible contents of *tids*, which the caller promises not to mutate."""
         seen: Set[Tuple] = set()
-        for tid in tuple(tids):
-            record = self._store._tuples.get(tid)
+        tuples = self._store._tuples
+        priority = self._priority
+        for tid in tids:
+            record = tuples.get(tid)
             if record is None:
                 continue  # rolled back entirely; stale index entry
-            content = record.visible_content(self._priority)
+            content = record.visible_content(priority)
             if content is not None and content not in seen:
                 seen.add(content)
                 yield content
@@ -710,21 +813,59 @@ class VersionedView(DatabaseView):
                 yield content
 
     def more_specific_tuples(self, row: Tuple) -> List[Tuple]:
-        candidates: Optional[Set[int]] = None
+        # Intersect the constant positions' buckets smallest-first: the
+        # narrowest bucket bounds every intermediate set, and an empty bucket
+        # short-circuits before any set is built.  This is the chase's
+        # hottest correction query, so the candidate set is owned (fresh)
+        # end-to-end — no defensive copies.
+        buckets = []
         for position, value in enumerate(row.values):
             if isinstance(value, LabeledNull):
                 continue
             bucket = self._store._value_index.get((row.relation, position, value))
             if not bucket:
                 return []
-            candidates = set(bucket) if candidates is None else candidates & bucket
-            if not candidates:
-                return []
-        if candidates is None:
-            # All-null pattern: fall back to every identity of the relation.
-            candidates = self._store._by_relation.get(row.relation, set())
+            buckets.append(bucket)
+        if not buckets:
+            # All-null pattern: fall back to every identity of the relation
+            # (copied — the store's own set must not feed a bare iteration).
+            candidates: Iterable[int] = tuple(
+                self._store._by_relation.get(row.relation, ())
+            )
+        else:
+            buckets.sort(key=len)
+            smallest = set(buckets[0])
+            for bucket in buckets[1:]:
+                smallest &= bucket
+                if not smallest:
+                    return []
+            candidates = smallest
+        # When the row's nulls are pairwise distinct the witnessing map
+        # imposes no constraint beyond identity on the constant positions, so
+        # the full per-candidate specificity check reduces to comparing those
+        # positions.  The comparison is still required: the value index
+        # over-approximates (a tid stays bucketed under *old* versions'
+        # contents), so a candidate's visible content may no longer carry the
+        # constants its bucket membership came from.
+        nulls = [value for value in row.values if isinstance(value, LabeledNull)]
+        if len(nulls) == len(set(nulls)):
+            if self._store.schema.arity_of(row.relation) != len(row.values):
+                return []  # no stored tuple can match a wrong-arity pattern
+            constant_positions = [
+                (position, value)
+                for position, value in enumerate(row.values)
+                if not isinstance(value, LabeledNull)
+            ]
+            return [
+                content
+                for content in self._visible_owned(candidates)
+                if all(
+                    content[position] == value
+                    for position, value in constant_positions
+                )
+            ]
         return [
             content
-            for content in self._visible_candidates(candidates)
-            if content.relation == row.relation and content.is_more_specific_than(row)
+            for content in self._visible_owned(candidates)
+            if content.is_more_specific_than(row)
         ]

@@ -36,6 +36,7 @@ from ..core.terms import Constant, Variable
 from ..core.tgd import MappingSet, Tgd
 from ..core.tuples import Tuple
 from ..core.update import DeleteOperation, InsertOperation, UserOperation
+from ..service.admission import AdmissionConfig
 from ..storage.memory import FrozenDatabase
 from .data_gen import generate_initial_database
 from .schema_gen import generate_constant_pool
@@ -67,6 +68,19 @@ class FederationScenarioConfig:
     remote_insert_fraction: float = 0.25
     constant_pool_size: int = 20
     seed: int = 0
+    #: Heterogeneous federation: peer 0 becomes a *slow archive* (tight
+    #: admission, slow links), the last peer a *fast edge*, in-between peers
+    #: interpolate — per-peer :class:`AdmissionConfig`s and per-link delays
+    #: are generated alongside the scenario.  Off by default so homogeneous
+    #: scenarios (and their recorded bench numbers) reproduce unchanged.
+    heterogeneous: bool = False
+    #: Link-delay range (transport pumps) sampled per directed link when
+    #: heterogeneous; links touching the archive always get the maximum.
+    min_link_delay: int = 0
+    max_link_delay: int = 3
+    #: Admission bounds interpolated from archive (first) to edge (last).
+    archive_max_in_flight: int = 2
+    edge_max_in_flight: int = 12
 
     def peer_names(self) -> List[str]:
         return ["p{}".format(index) for index in range(self.num_peers)]
@@ -85,6 +99,16 @@ class FederationEnvironment:
     initial: FrozenDatabase
     #: Per-peer operation streams, keyed by submitting peer.
     operations: Dict[str, List[UserOperation]] = field(default_factory=dict)
+    #: Per-peer admission configs (``None`` for a homogeneous federation) —
+    #: pass directly as ``FederatedNetwork(admission=...)``.
+    admission_configs: Optional[Dict[str, AdmissionConfig]] = None
+    #: Per-directed-link delays in pumps (empty for a homogeneous federation).
+    link_delays: Dict[PyTuple[str, str], int] = field(default_factory=dict)
+
+    def apply_link_delays(self, transport) -> None:
+        """Configure *transport* with this scenario's per-link delays."""
+        for (source, destination), delay in self.link_delays.items():
+            transport.set_delay(source, destination, delay)
 
     def all_operations(self) -> List[UserOperation]:
         """Every operation, interleaved round-robin across peers.
@@ -291,6 +315,14 @@ def generate_federation_environment(
             stream.append(InsertOperation(Tuple(relation, values)))
         operations[peer] = stream
 
+    admission_configs: Optional[Dict[str, AdmissionConfig]] = None
+    link_delays: Dict[PyTuple[str, str], int] = {}
+    if config.heterogeneous:
+        admission_configs = _heterogeneous_admission(config, peers)
+        link_delays = _heterogeneous_link_delays(
+            config, peers, random.Random(rng.random())
+        )
+
     return FederationEnvironment(
         config=config,
         schema=schema,
@@ -299,4 +331,49 @@ def generate_federation_environment(
         mappings=mappings,
         initial=initial,
         operations=operations,
+        admission_configs=admission_configs,
+        link_delays=link_delays,
     )
+
+
+def _heterogeneous_admission(
+    config: FederationScenarioConfig, peers: Sequence[str]
+) -> Dict[str, AdmissionConfig]:
+    """Per-peer admission: archive (first) tight, edge (last) wide.
+
+    The archive peer admits few concurrent updates in singleton batches (a
+    conservative, abort-averse store); edge peers admit wide compatible
+    groups.  In-between peers interpolate linearly.
+    """
+    configs: Dict[str, AdmissionConfig] = {}
+    span = max(1, len(peers) - 1)
+    low = config.archive_max_in_flight
+    high = config.edge_max_in_flight
+    for index, peer in enumerate(peers):
+        in_flight = low + int(round((high - low) * index / span))
+        configs[peer] = AdmissionConfig(
+            max_in_flight=max(1, in_flight),
+            batch_size=max(1, in_flight // 2),
+            compatible_groups=index > 0,
+        )
+    return configs
+
+
+def _heterogeneous_link_delays(
+    config: FederationScenarioConfig,
+    peers: Sequence[str],
+    rng: random.Random,
+) -> Dict[PyTuple[str, str], int]:
+    """Per-directed-link delays: archive links slow, the rest sampled."""
+    delays: Dict[PyTuple[str, str], int] = {}
+    archive = peers[0]
+    for source in peers:
+        for destination in peers:
+            if source == destination:
+                continue
+            if archive in (source, destination):
+                delay = config.max_link_delay
+            else:
+                delay = rng.randint(config.min_link_delay, config.max_link_delay)
+            delays[(source, destination)] = delay
+    return delays

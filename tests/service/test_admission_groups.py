@@ -1,0 +1,115 @@
+"""Compatible-group admission: FIFO-preserving relation-disjoint batches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tuples import make_tuple
+from repro.core.update import (
+    DeleteOperation,
+    InsertOperation,
+    NullReplacementOperation,
+)
+from repro.core.terms import LabeledNull
+from repro.service.admission import AdmissionConfig, AdmissionQueue
+from repro.service.tickets import UpdateTicket
+
+
+def _ticket(ticket_id, operation):
+    return UpdateTicket(ticket_id=ticket_id, session_id=1, operation=operation)
+
+
+def _insert(ticket_id, relation):
+    return _ticket(ticket_id, InsertOperation(make_tuple(relation, "v{}".format(ticket_id))))
+
+
+def _queue(*tickets, **config_overrides):
+    defaults = dict(max_in_flight=8, batch_size=4, compatible_groups=True)
+    defaults.update(config_overrides)
+    queue = AdmissionQueue(AdmissionConfig(**defaults))
+    for ticket in tickets:
+        queue.enqueue(ticket)
+    return queue
+
+
+class TestCompatibleGroups:
+    def test_disjoint_relations_batch_together(self):
+        queue = _queue(_insert(1, "A"), _insert(2, "B"), _insert(3, "C"))
+        admitted = queue.take(0)
+        assert [t.ticket_id for t in admitted] == [1, 2, 3]
+
+    def test_batch_stops_at_first_overlap_preserving_fifo(self):
+        queue = _queue(_insert(1, "A"), _insert(2, "A"), _insert(3, "B"))
+        first = queue.take(0)
+        assert [t.ticket_id for t in first] == [1]
+        # The overlapping ticket was not overtaken; it leads the next batch.
+        second = queue.take(0)
+        assert [t.ticket_id for t in second] == [2, 3]
+
+    def test_deletes_group_like_inserts(self):
+        queue = _queue(
+            _ticket(1, DeleteOperation(make_tuple("A", "x"))),
+            _insert(2, "B"),
+        )
+        assert [t.ticket_id for t in queue.take(0)] == [1, 2]
+
+    def test_unknown_write_set_is_admitted_alone(self):
+        replacement = NullReplacementOperation(LabeledNull("n"), "value")
+        assert replacement.target_relations() is None
+        queue = _queue(_ticket(1, replacement), _insert(2, "A"))
+        assert [t.ticket_id for t in queue.take(0)] == [1]
+        assert [t.ticket_id for t in queue.take(0)] == [2]
+
+    def test_unknown_write_set_ends_a_running_batch(self):
+        replacement = NullReplacementOperation(LabeledNull("n"), "value")
+        queue = _queue(_insert(1, "A"), _ticket(2, replacement))
+        assert [t.ticket_id for t in queue.take(0)] == [1]
+        assert [t.ticket_id for t in queue.take(0)] == [2]
+
+    def test_slots_still_bound_the_group(self):
+        queue = _queue(
+            _insert(1, "A"),
+            _insert(2, "B"),
+            _insert(3, "C"),
+            _insert(4, "D"),
+            _insert(5, "E"),
+            batch_size=3,
+        )
+        assert [t.ticket_id for t in queue.take(0)] == [1, 2, 3]
+        assert [t.ticket_id for t in queue.take(0)] == [4, 5]
+
+    def test_max_in_flight_still_respected(self):
+        queue = _queue(_insert(1, "A"), _insert(2, "B"), max_in_flight=3)
+        assert [t.ticket_id for t in queue.take(2)] == [1]
+
+    def test_disabled_grouping_keeps_plain_fifo_batches(self):
+        queue = _queue(
+            _insert(1, "A"), _insert(2, "A"), _insert(3, "A"), compatible_groups=False
+        )
+        assert [t.ticket_id for t in queue.take(0)] == [1, 2, 3]
+
+
+class TestTargetRelations:
+    def test_insert_and_delete_report_their_relation(self):
+        assert InsertOperation(make_tuple("A", "x")).target_relations() == frozenset(
+            {"A"}
+        )
+        assert DeleteOperation(make_tuple("B", "x")).target_relations() == frozenset(
+            {"B"}
+        )
+
+    def test_remote_operations_report_their_relations(self):
+        from repro.core.atoms import Atom
+        from repro.core.terms import Variable
+        from repro.core.tgd import Tgd
+        from repro.federation.operations import (
+            RemoteFiringOperation,
+            RemoteRetractionOperation,
+        )
+
+        x = Variable("x")
+        tgd = Tgd([Atom("A", [x])], [Atom("B", [x])], name="m")
+        firing = RemoteFiringOperation(tgd, {}, (make_tuple("B", "v"),))
+        assert firing.target_relations() == frozenset({"B"})
+        retraction = RemoteRetractionOperation(tgd, {})
+        assert retraction.target_relations() == frozenset({"A"})
