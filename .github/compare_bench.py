@@ -23,6 +23,14 @@ TRACKED = (
     ("tracker_speedup", ("tracker_speedup",)),
     ("federation.committed_per_second", ("federation", "committed_per_second")),
     ("batched.committed_per_second", ("batched", "committed_per_second")),
+    (
+        "batched.wire_committed_per_second",
+        ("batched", "wire_committed_per_second"),
+    ),
+    (
+        "federation_open_loop.committed_per_second",
+        ("federation_open_loop", "committed_per_second"),
+    ),
 )
 
 

@@ -57,6 +57,12 @@ RESULT_PATH = os.path.join(
 #: small scale (the number the tentpole's >=2x target is measured against).
 PR3_COMMITTED_PER_SECOND = 2489.47
 
+#: The in-run PR 3-mode baseline PR 4 measured alongside its 2x result, on
+#: the machine that recorded it.  Strict mode scales the absolute 2x bar by
+#: ``measured_baseline / PR4_BASELINE_COMMITTED_PER_SECOND`` so the check
+#: tests the *batching* speedup rather than the CI runner's clock speed.
+PR4_BASELINE_COMMITTED_PER_SECOND = 4135.61
+
 #: Timed repeats per configuration; the recorded wall is the best of them.
 RUNS = 7
 
@@ -69,14 +75,18 @@ BATCHED_ADMISSION = AdmissionConfig(
 )
 
 
-def _run_once(environment, batched: bool):
+def _run_once(environment, batched: bool, wire: bool = False):
+    # ``wire=False`` isolates the batched-execution measurement from the
+    # PR 5 byte-codec cost, keeping it comparable with the PR 3/PR 4
+    # recorded numbers; the wire-mode run is measured (and recorded)
+    # separately below.
     if batched:
         network = FederatedNetwork(
             environment.schema,
             environment.initial,
             list(environment.mappings),
             environment.ownership,
-            transport=Transport(delay=1),
+            transport=Transport(delay=1, wire=wire),
             coalesce_envelopes=True,
             group_commit=True,
             admission=BATCHED_ADMISSION,
@@ -87,7 +97,7 @@ def _run_once(environment, batched: bool):
             environment.initial,
             list(environment.mappings),
             environment.ownership,
-            transport=Transport(delay=1),
+            transport=Transport(delay=1, wire=wire),
             coalesce_envelopes=False,
             group_commit=False,
         )
@@ -128,6 +138,13 @@ def test_batched_federation_throughput():
         environment, batched=False
     )
     wall, committed, rounds, metrics, network = _measure(environment, batched=True)
+
+    # PR 5: the same batched configuration over the byte transport — the
+    # codec's end-to-end cost, measured rather than guessed.  One timed run
+    # is enough for an overhead gauge (the entry records it as such).
+    wire_wall, wire_committed, _, wire_metrics, _ = _run_once(
+        environment, batched=True, wire=True
+    )
 
     # Differential semantics: both executions are the same chase, up to null
     # renaming — and both equal the single-repository reference.
@@ -177,6 +194,12 @@ def test_batched_federation_throughput():
         ),
         "semantics_match": semantics_match,
         "convergence_equivalent": convergence.equivalent,
+        # The byte-transport gauge: same batched configuration, payloads
+        # codec-encoded at send and decoded at delivery (single timed run).
+        "wire_committed_per_second": wire_committed / max(wire_wall, 1e-9),
+        "wire_bytes_sent": wire_metrics["transport_wire_bytes_sent"],
+        "wire_overhead_factor": (wire_committed / max(wire_wall, 1e-9))
+        / max(committed_per_second, 1e-9),
     }
 
     recorded = {}
@@ -212,14 +235,21 @@ def test_batched_federation_throughput():
     )
 
     if scale == "small" and os.environ.get("REPRO_BENCH_STRICT") == "1":
-        # The tentpole's acceptance bar: at the PR 3 entry's scale and seed,
-        # batched execution moves at least twice the throughput PR 3
-        # recorded for the per-update path.  Strict mode is opt-in (the
-        # non-blocking CI benchmarks job sets it) so a loaded tier-1 runner
-        # cannot flake the blocking suite on wall-clock noise.
-        assert committed_per_second >= 2 * PR3_COMMITTED_PER_SECOND, (
-            "batched federation throughput {:.0f}/s did not reach 2x the "
-            "PR 3 recorded {:.0f}/s".format(
-                committed_per_second, PR3_COMMITTED_PER_SECOND
-            )
+        # The PR 4 tentpole's acceptance bar: at the PR 3 entry's scale and
+        # seed, batched execution moves at least twice the throughput PR 3
+        # recorded for the per-update path — normalized by machine capacity
+        # (the in-run baseline vs the baseline the recording machine
+        # measured), so a slower CI runner tests the batching speedup, not
+        # its own clock.  Strict mode is opt-in (the non-blocking CI
+        # benchmarks job sets it) so a loaded tier-1 runner cannot flake the
+        # blocking suite on wall-clock noise.
+        capacity = entry["baseline_committed_per_second"] / PR4_BASELINE_COMMITTED_PER_SECOND
+        bar = 2 * PR3_COMMITTED_PER_SECOND * capacity
+        assert committed_per_second >= bar, (
+            "batched federation throughput {:.0f}/s did not reach the "
+            "capacity-normalized 2x PR 3 bar {:.0f}/s (machine capacity "
+            "factor {:.2f})".format(committed_per_second, bar, capacity)
+        )
+        assert committed_per_second >= entry["baseline_committed_per_second"], (
+            "batching must not lose to the per-update baseline"
         )

@@ -25,8 +25,10 @@ from repro.federation import (
     reference_chase,
 )
 from repro.workload.federated_loop import (
+    ArrivalProcess,
     FederatedClientSpec,
     FederatedClosedLoopDriver,
+    FederatedOpenLoopDriver,
 )
 from repro.workload.federation_gen import (
     FederationScenarioConfig,
@@ -148,5 +150,96 @@ def test_federation_throughput():
             report.rounds,
             entry["committed_per_second"],
             metrics["transport_sent"],
+        )
+    )
+
+
+def test_federation_open_loop_throughput():
+    """Open-loop (bursty batch) arrivals: the admission-headroom measurement.
+
+    The closed-loop bench self-paces, so admission queues stay near empty and
+    group admission has nothing to group; the ROADMAP (PR 4 follow-up) asked
+    for bursty arrivals to measure it properly.  This run submits each peer's
+    stream in fixed-size bursts through the open-loop driver and records a
+    ``federation_open_loop`` entry: throughput, observed queue depths,
+    admission backoffs, and the differential convergence verdict.
+    """
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    config = SCALES.get(scale, SCALES["small"])
+    environment = generate_federation_environment(config)
+    network = FederatedNetwork(
+        environment.schema,
+        environment.initial,
+        list(environment.mappings),
+        environment.ownership,
+        transport=Transport(delay=1),
+    )
+    arrivals = ArrivalProcess(kind="batch", batch_size=max(
+        2, config.operations_per_peer // 2
+    ), interval=3, seed=config.seed)
+    driver = FederatedOpenLoopDriver(
+        network,
+        {peer: list(ops) for peer, ops in environment.operations.items()},
+        arrivals,
+        answer_delay=1,
+    )
+    started = time.perf_counter()
+    report = driver.run(max_rounds=20_000)
+    wall = time.perf_counter() - started
+    assert report.all_submitted and report.drained
+
+    reference = reference_chase(
+        environment.schema,
+        environment.initial,
+        list(environment.mappings),
+        environment.all_operations(),
+        oracle=AlwaysExpandOracle(),
+    )
+    convergence = check_convergence(network, reference)
+    assert convergence.equivalent, convergence.summary()
+
+    metrics = network.metrics()
+    committed = sum(
+        metrics["peer_{}_committed".format(peer)] for peer in network.peer_names()
+    )
+    entry = {
+        "scale": scale,
+        "peers": config.num_peers,
+        "arrivals": "batch({}@{})".format(arrivals.batch_size, arrivals.interval),
+        "user_operations": report.submitted,
+        "rounds": report.rounds,
+        "wall_seconds": wall,
+        "committed_updates_total": committed,
+        "committed_per_second": committed / max(wall, 1e-9),
+        "admission_backoffs": report.backoffs,
+        "max_queue_depth": report.max_queue_depth,
+        "transport_sent": metrics["transport_sent"],
+        "transport_wire_bytes_sent": metrics["transport_wire_bytes_sent"],
+        "convergence_equivalent": convergence.equivalent,
+    }
+    recorded = {}
+    if os.path.exists(RESULT_PATH):
+        try:
+            with open(RESULT_PATH) as handle:
+                recorded = json.load(handle)
+        except ValueError:
+            recorded = {}
+    recorded["federation_open_loop"] = entry
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(recorded, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(
+        "\nfederation open-loop bench ({} scale): {} ops in bursts -> "
+        "{} committed in {:.2f}s ({:.0f} commits/s, peak queue {}, "
+        "{} backoffs, {} wire bytes)".format(
+            scale,
+            report.submitted,
+            committed,
+            wall,
+            entry["committed_per_second"],
+            report.max_queue_depth,
+            report.backoffs,
+            metrics["transport_wire_bytes_sent"],
         )
     )

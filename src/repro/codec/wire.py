@@ -1,0 +1,656 @@
+"""The structured wire codec: versioned, self-describing, ``pickle``-free.
+
+Everything is encoded into plain JSON-able structures (dicts, lists, strings,
+numbers) with a ``"t"`` type tag per node, then serialized deterministically
+(sorted keys, compact separators) behind a versioned header::
+
+    {"v": 1, "k": "<payload kind>", "b": <body>}
+
+Decoding rejects unknown versions and unknown tags loudly — a peer speaking a
+future dialect fails fast instead of silently misreading bytes.  Round-trip
+identity holds for every supported object: ``decode(encode(x)) == x`` under
+the value equality the core types define (tgd equality ignores names, which
+the codec nevertheless preserves).
+
+Because chase results are unique only up to the renaming of labeled nulls,
+the codec also provides :func:`payloads_equivalent` — structural equality of
+two payloads after canonicalizing null names in first-occurrence order — for
+differential tests that compare independently minted envelopes.
+
+Layering note: the federation/service types are imported lazily inside the
+codec functions so this module stays importable from below those layers (the
+transport imports the codec, and the codec must be able to name the
+transport's bundle type without a cycle).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..core.atoms import Atom
+from ..core.schema import DatabaseSchema, RelationSchema
+from ..core.terms import Constant, LabeledNull, Variable
+from ..core.tgd import Tgd
+from ..core.tuples import Tuple
+from ..core.writes import Write, WriteKind
+
+# NOTE: ``core.frontier`` / ``core.violations`` / ``core.update`` (and, below
+# those, the storage / service / federation layers) are imported lazily inside
+# the codec functions.  Those modules import the storage package, whose
+# ``__init__`` loads the SQLite backend, whose SQL generator imports this
+# codec's row module — a module-level import here would therefore observe
+# partially-initialized modules depending on which package was imported first.
+
+#: The codec dialect this build speaks.  Bump on any incompatible change.
+WIRE_VERSION = 1
+
+#: Constant payload types the wire codec can carry losslessly.
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+class CodecError(ValueError):
+    """Raised for unencodable objects, malformed bytes or unknown versions."""
+
+
+# ----------------------------------------------------------------------
+# Terms, tuples, atoms, mappings
+# ----------------------------------------------------------------------
+def _check_scalar(value: object) -> object:
+    if not isinstance(value, _SCALAR_TYPES):
+        raise CodecError(
+            "constant payload {!r} is not wire-encodable (need one of {})".format(
+                value, ", ".join(t.__name__ for t in _SCALAR_TYPES)
+            )
+        )
+    return value
+
+
+def encode_term(term: object) -> Dict[str, Any]:
+    """Encode a :class:`Constant`, :class:`LabeledNull` or :class:`Variable`."""
+    if isinstance(term, Constant):
+        return {"t": "const", "v": _check_scalar(term.value)}
+    if isinstance(term, LabeledNull):
+        return {"t": "null", "n": term.name}
+    if isinstance(term, Variable):
+        return {"t": "var", "n": term.name}
+    raise CodecError("not a term: {!r}".format(term))
+
+
+def decode_term(body: Dict[str, Any]) -> object:
+    tag = body.get("t")
+    if tag == "const":
+        return Constant(body["v"])
+    if tag == "null":
+        return LabeledNull(body["n"])
+    if tag == "var":
+        return Variable(body["n"])
+    raise CodecError("unknown term tag {!r}".format(tag))
+
+
+def encode_tuple(row: Tuple) -> Dict[str, Any]:
+    """Encode a data tuple."""
+    return {"r": row.relation, "vs": [encode_term(value) for value in row.values]}
+
+
+def decode_tuple(body: Dict[str, Any]) -> Tuple:
+    return Tuple(body["r"], [decode_term(value) for value in body["vs"]])
+
+
+def encode_atom(atom: Atom) -> Dict[str, Any]:
+    return {"r": atom.relation, "ts": [encode_term(term) for term in atom.terms]}
+
+
+def decode_atom(body: Dict[str, Any]) -> Atom:
+    return Atom(body["r"], [decode_term(term) for term in body["ts"]])
+
+
+def encode_tgd(tgd: Tgd) -> Dict[str, Any]:
+    return {
+        "n": tgd.name,
+        "l": [encode_atom(atom) for atom in tgd.lhs],
+        "h": [encode_atom(atom) for atom in tgd.rhs],
+    }
+
+
+def decode_tgd(body: Dict[str, Any]) -> Tgd:
+    return Tgd(
+        [decode_atom(atom) for atom in body["l"]],
+        [decode_atom(atom) for atom in body["h"]],
+        name=body["n"],
+    )
+
+
+def _encode_assignment(items) -> List[List[Any]]:
+    """A variable assignment, canonically ordered by variable name."""
+    pairs = sorted(items, key=lambda item: item[0].name)
+    return [[encode_term(variable), encode_term(value)] for variable, value in pairs]
+
+
+def _decode_assignment_items(body) -> frozenset:
+    return frozenset(
+        (decode_term(variable), decode_term(value)) for variable, value in body
+    )
+
+
+# ----------------------------------------------------------------------
+# Writes
+# ----------------------------------------------------------------------
+def encode_write(write: Write) -> Dict[str, Any]:
+    body: Dict[str, Any] = {"k": write.kind.value, "row": encode_tuple(write.row)}
+    if write.old_row is not None:
+        body["old"] = encode_tuple(write.old_row)
+    if write.null is not None:
+        body["null"] = encode_term(write.null)
+    if write.replacement is not None:
+        body["rep"] = encode_term(write.replacement)
+    return body
+
+
+def decode_write(body: Dict[str, Any]) -> Write:
+    return Write(
+        kind=WriteKind(body["k"]),
+        row=decode_tuple(body["row"]),
+        old_row=decode_tuple(body["old"]) if "old" in body else None,
+        null=decode_term(body["null"]) if "null" in body else None,
+        replacement=decode_term(body["rep"]) if "rep" in body else None,
+    )
+
+
+def encode_versioned_write(entry) -> Dict[str, Any]:
+    """Encode a logged write with its provenance (seq, priority, tid)."""
+    return {
+        "seq": entry.seq,
+        "pri": entry.priority,
+        "tid": entry.tid,
+        "w": encode_write(entry.write),
+    }
+
+
+def decode_versioned_write(body: Dict[str, Any]):
+    from ..storage.versioned import VersionedWrite
+
+    return VersionedWrite(
+        seq=body["seq"],
+        priority=body["pri"],
+        tid=body["tid"],
+        write=decode_write(body["w"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Violations and frontier structures
+# ----------------------------------------------------------------------
+def encode_violation(violation) -> Dict[str, Any]:
+    return {
+        "tgd": encode_tgd(violation.tgd),
+        "b": _encode_assignment(violation.bindings),
+        "w": [encode_tuple(row) for row in violation.witness],
+        "k": violation.kind.value,
+    }
+
+
+def decode_violation(body: Dict[str, Any]):
+    from ..core.violations import Violation, ViolationKind
+
+    return Violation(
+        tgd=decode_tgd(body["tgd"]),
+        bindings=_decode_assignment_items(body["b"]),
+        witness=tuple(decode_tuple(row) for row in body["w"]),
+        kind=ViolationKind(body["k"]),
+    )
+
+
+def encode_frontier_tuple(frontier) -> Dict[str, Any]:
+    return {
+        "row": encode_tuple(frontier.row),
+        "vio": encode_violation(frontier.violation),
+        "cand": [encode_tuple(row) for row in frontier.candidates],
+        "fresh": [
+            encode_term(null)
+            for null in sorted(frontier.fresh_nulls, key=lambda n: n.name)
+        ],
+    }
+
+
+def decode_frontier_tuple(body: Dict[str, Any]):
+    from ..core.frontier import FrontierTuple
+
+    return FrontierTuple(
+        row=decode_tuple(body["row"]),
+        violation=decode_violation(body["vio"]),
+        candidates=tuple(decode_tuple(row) for row in body["cand"]),
+        fresh_nulls=frozenset(decode_term(null) for null in body["fresh"]),
+    )
+
+
+def encode_frontier_request(request) -> Dict[str, Any]:
+    from ..core.frontier import NegativeFrontierRequest, PositiveFrontierRequest
+
+    if isinstance(request, PositiveFrontierRequest):
+        return {
+            "t": "pos",
+            "vio": encode_violation(request.violation),
+            "fts": [encode_frontier_tuple(ft) for ft in request.frontier_tuples],
+        }
+    if isinstance(request, NegativeFrontierRequest):
+        return {
+            "t": "neg",
+            "vio": encode_violation(request.violation),
+            "cand": [encode_tuple(row) for row in request.candidates],
+        }
+    raise CodecError("not a frontier request: {!r}".format(request))
+
+
+def decode_frontier_request(body: Dict[str, Any]):
+    from ..core.frontier import NegativeFrontierRequest, PositiveFrontierRequest
+
+    tag = body.get("t")
+    if tag == "pos":
+        return PositiveFrontierRequest(
+            violation=decode_violation(body["vio"]),
+            frontier_tuples=tuple(
+                decode_frontier_tuple(ft) for ft in body["fts"]
+            ),
+        )
+    if tag == "neg":
+        return NegativeFrontierRequest(
+            violation=decode_violation(body["vio"]),
+            candidates=tuple(decode_tuple(row) for row in body["cand"]),
+        )
+    raise CodecError("unknown frontier request tag {!r}".format(tag))
+
+
+def encode_frontier_operation(operation) -> Dict[str, Any]:
+    from ..core.frontier import (
+        DeleteSubsetOperation,
+        ExpandOperation,
+        UnifyOperation,
+    )
+
+    if isinstance(operation, ExpandOperation):
+        return {"t": "expand", "ft": encode_frontier_tuple(operation.frontier_tuple)}
+    if isinstance(operation, UnifyOperation):
+        return {
+            "t": "unify",
+            "ft": encode_frontier_tuple(operation.frontier_tuple),
+            "with": encode_tuple(operation.target),
+        }
+    if isinstance(operation, DeleteSubsetOperation):
+        return {"t": "del", "rows": [encode_tuple(row) for row in operation.rows]}
+    raise CodecError("not a frontier operation: {!r}".format(operation))
+
+
+def decode_frontier_operation(body: Dict[str, Any]):
+    from ..core.frontier import (
+        DeleteSubsetOperation,
+        ExpandOperation,
+        UnifyOperation,
+    )
+
+    tag = body.get("t")
+    if tag == "expand":
+        return ExpandOperation(decode_frontier_tuple(body["ft"]))
+    if tag == "unify":
+        return UnifyOperation(
+            decode_frontier_tuple(body["ft"]), decode_tuple(body["with"])
+        )
+    if tag == "del":
+        return DeleteSubsetOperation(
+            tuple(decode_tuple(row) for row in body["rows"])
+        )
+    raise CodecError("unknown frontier operation tag {!r}".format(tag))
+
+
+# ----------------------------------------------------------------------
+# User operations (local and federation-synthesized)
+# ----------------------------------------------------------------------
+def encode_user_operation(operation) -> Dict[str, Any]:
+    """Encode any :class:`~repro.core.update.UserOperation` the system produces."""
+    from ..core.update import (
+        DeleteOperation,
+        InsertOperation,
+        NullReplacementOperation,
+    )
+    from ..federation.operations import (
+        RemoteFiringOperation,
+        RemoteRetractionOperation,
+    )
+
+    if isinstance(operation, InsertOperation):
+        return {"t": "ins", "row": encode_tuple(operation.row)}
+    if isinstance(operation, DeleteOperation):
+        return {"t": "rm", "row": encode_tuple(operation.row)}
+    if isinstance(operation, NullReplacementOperation):
+        return {
+            "t": "repl",
+            "null": encode_term(operation.null),
+            "val": encode_term(operation.value),
+        }
+    if isinstance(operation, RemoteFiringOperation):
+        return {
+            "t": "fire",
+            "tgd": encode_tgd(operation.tgd),
+            "a": _encode_assignment(operation.assignment.items()),
+            "rows": [encode_tuple(row) for row in operation.head_rows],
+        }
+    if isinstance(operation, RemoteRetractionOperation):
+        return {
+            "t": "retract",
+            "tgd": encode_tgd(operation.tgd),
+            "a": _encode_assignment(operation.assignment.items()),
+        }
+    raise CodecError("not a wire-encodable user operation: {!r}".format(operation))
+
+
+def decode_user_operation(body: Dict[str, Any]):
+    from ..core.update import (
+        DeleteOperation,
+        InsertOperation,
+        NullReplacementOperation,
+    )
+    from ..federation.operations import (
+        RemoteFiringOperation,
+        RemoteRetractionOperation,
+    )
+
+    tag = body.get("t")
+    if tag == "ins":
+        return InsertOperation(decode_tuple(body["row"]))
+    if tag == "rm":
+        return DeleteOperation(decode_tuple(body["row"]))
+    if tag == "repl":
+        return NullReplacementOperation(
+            decode_term(body["null"]), decode_term(body["val"])
+        )
+    if tag == "fire":
+        return RemoteFiringOperation(
+            decode_tgd(body["tgd"]),
+            dict(_decode_assignment_items(body["a"])),
+            tuple(decode_tuple(row) for row in body["rows"]),
+        )
+    if tag == "retract":
+        return RemoteRetractionOperation(
+            decode_tgd(body["tgd"]),
+            dict(_decode_assignment_items(body["a"])),
+        )
+    raise CodecError("unknown user operation tag {!r}".format(tag))
+
+
+# ----------------------------------------------------------------------
+# Schemas (for snapshots and checkpoints)
+# ----------------------------------------------------------------------
+def encode_schema(schema: DatabaseSchema) -> List[List[Any]]:
+    """Encode a database schema, preserving relation declaration order."""
+    return [
+        [relation.name, list(relation.attributes)] for relation in schema
+    ]
+
+
+def decode_schema(body: List[List[Any]]) -> DatabaseSchema:
+    return DatabaseSchema.from_relations(
+        RelationSchema(name, attributes) for name, attributes in body
+    )
+
+
+# ----------------------------------------------------------------------
+# Service-side values
+# ----------------------------------------------------------------------
+def _encode_origin(origin) -> Dict[str, Any]:
+    return {"peer": origin.peer, "ticket": origin.ticket_id}
+
+
+def _decode_origin(body: Dict[str, Any]):
+    from ..service.tickets import RemoteOrigin
+
+    return RemoteOrigin(peer=body["peer"], ticket_id=body["ticket"])
+
+
+def _encode_choice(choice) -> Dict[str, Any]:
+    if isinstance(choice, int):
+        return {"t": "index", "i": choice}
+    return {"t": "op", "op": encode_frontier_operation(choice)}
+
+
+def _decode_choice(body: Dict[str, Any]):
+    tag = body.get("t")
+    if tag == "index":
+        return body["i"]
+    if tag == "op":
+        return decode_frontier_operation(body["op"])
+    raise CodecError("unknown answer-choice tag {!r}".format(tag))
+
+
+# ----------------------------------------------------------------------
+# Federation payloads
+# ----------------------------------------------------------------------
+def payload_kind(payload: object) -> str:
+    """The wire kind string of *payload* (used in the envelope header)."""
+    from ..federation import envelopes as env
+    from ..federation.transport import Bundle
+
+    if isinstance(payload, env.RemoteUpdate):
+        return "remote-update"
+    if isinstance(payload, env.ExchangeFiring):
+        return "firing"
+    if isinstance(payload, env.ExchangeRetraction):
+        return "retraction"
+    if isinstance(payload, env.QuestionOpened):
+        return "question-opened"
+    if isinstance(payload, env.QuestionCancelled):
+        return "question-cancelled"
+    if isinstance(payload, env.QuestionAnswer):
+        return "question-answer"
+    if isinstance(payload, env.CommitNotice):
+        return "commit-notice"
+    if isinstance(payload, Bundle):
+        return "bundle"
+    if isinstance(payload, _SCALAR_TYPES):
+        return "raw"
+    raise CodecError("not a wire-encodable payload: {!r}".format(payload))
+
+
+def encode_payload(payload: object) -> Dict[str, Any]:
+    """Encode any transport payload into its JSON-able wire body."""
+    from ..federation import envelopes as env
+    from ..federation.transport import Bundle
+    from ..service.tickets import TicketStatus
+
+    if isinstance(payload, env.RemoteUpdate):
+        return {
+            "t": "remote-update",
+            "op": encode_user_operation(payload.operation),
+            "o": _encode_origin(payload.origin),
+        }
+    if isinstance(payload, env.ExchangeFiring):
+        return {
+            "t": "firing",
+            "tgd": encode_tgd(payload.tgd),
+            "a": _encode_assignment(payload.assignment_items),
+            "rows": [encode_tuple(row) for row in payload.head_rows],
+            "o": _encode_origin(payload.origin),
+        }
+    if isinstance(payload, env.ExchangeRetraction):
+        return {
+            "t": "retraction",
+            "tgd": encode_tgd(payload.tgd),
+            "a": _encode_assignment(payload.assignment_items),
+            "row": encode_tuple(payload.removed_row),
+            "o": _encode_origin(payload.origin),
+        }
+    if isinstance(payload, env.QuestionOpened):
+        return {
+            "t": "question-opened",
+            "peer": payload.executing_peer,
+            "id": payload.decision_id,
+            "req": encode_frontier_request(payload.request),
+            "o": _encode_origin(payload.origin),
+            "desc": payload.ticket_description,
+        }
+    if isinstance(payload, env.QuestionCancelled):
+        return {
+            "t": "question-cancelled",
+            "peer": payload.executing_peer,
+            "id": payload.decision_id,
+            "o": _encode_origin(payload.origin),
+        }
+    if isinstance(payload, env.QuestionAnswer):
+        return {
+            "t": "question-answer",
+            "peer": payload.executing_peer,
+            "id": payload.decision_id,
+            "c": _encode_choice(payload.choice),
+            "by": payload.answered_by,
+        }
+    if isinstance(payload, env.CommitNotice):
+        if not isinstance(payload.status, TicketStatus):
+            raise CodecError("commit notice with non-status {!r}".format(payload.status))
+        return {
+            "t": "commit-notice",
+            "o": _encode_origin(payload.origin),
+            "s": payload.status.value,
+        }
+    if isinstance(payload, Bundle):
+        return {
+            "t": "bundle",
+            "ps": [encode_payload(inner) for inner in payload.payloads],
+        }
+    if isinstance(payload, _SCALAR_TYPES):
+        # Plain scalars pass through (handy for transport-level tests and
+        # diagnostics); everything else must be a declared envelope type.
+        return {"t": "raw", "v": payload}
+    raise CodecError("not a wire-encodable payload: {!r}".format(payload))
+
+
+def decode_payload(body: Dict[str, Any]) -> object:
+    from ..federation import envelopes as env
+    from ..federation.transport import Bundle
+    from ..service.tickets import TicketStatus
+
+    tag = body.get("t")
+    if tag == "remote-update":
+        return env.RemoteUpdate(
+            operation=decode_user_operation(body["op"]),
+            origin=_decode_origin(body["o"]),
+        )
+    if tag == "firing":
+        return env.ExchangeFiring(
+            tgd=decode_tgd(body["tgd"]),
+            assignment_items=_decode_assignment_items(body["a"]),
+            head_rows=tuple(decode_tuple(row) for row in body["rows"]),
+            origin=_decode_origin(body["o"]),
+        )
+    if tag == "retraction":
+        return env.ExchangeRetraction(
+            tgd=decode_tgd(body["tgd"]),
+            assignment_items=_decode_assignment_items(body["a"]),
+            removed_row=decode_tuple(body["row"]),
+            origin=_decode_origin(body["o"]),
+        )
+    if tag == "question-opened":
+        return env.QuestionOpened(
+            executing_peer=body["peer"],
+            decision_id=body["id"],
+            request=decode_frontier_request(body["req"]),
+            origin=_decode_origin(body["o"]),
+            ticket_description=body["desc"],
+        )
+    if tag == "question-cancelled":
+        return env.QuestionCancelled(
+            executing_peer=body["peer"],
+            decision_id=body["id"],
+            origin=_decode_origin(body["o"]),
+        )
+    if tag == "question-answer":
+        return env.QuestionAnswer(
+            executing_peer=body["peer"],
+            decision_id=body["id"],
+            choice=_decode_choice(body["c"]),
+            answered_by=body["by"],
+        )
+    if tag == "commit-notice":
+        return env.CommitNotice(
+            origin=_decode_origin(body["o"]),
+            status=TicketStatus(body["s"]),
+        )
+    if tag == "bundle":
+        return Bundle(tuple(decode_payload(inner) for inner in body["ps"]))
+    if tag == "raw":
+        return body["v"]
+    raise CodecError("unknown payload tag {!r}".format(tag))
+
+
+# ----------------------------------------------------------------------
+# The byte layer
+# ----------------------------------------------------------------------
+def dumps(structure: object) -> bytes:
+    """Serialize a JSON-able structure deterministically (the codec's dialect)."""
+    return json.dumps(
+        structure, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("utf-8")
+
+
+def loads(data: bytes) -> object:
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise CodecError("malformed wire bytes: {}".format(error)) from None
+
+
+def encode_envelope(payload: object) -> bytes:
+    """Encode a transport payload into self-describing, versioned bytes."""
+    return dumps(
+        {"v": WIRE_VERSION, "k": payload_kind(payload), "b": encode_payload(payload)}
+    )
+
+
+def decode_envelope(data: bytes) -> object:
+    """Decode wire bytes; unknown versions and kinds are a :class:`CodecError`."""
+    structure = loads(data)
+    if not isinstance(structure, dict) or "v" not in structure:
+        raise CodecError("wire bytes lack the versioned envelope header")
+    version = structure["v"]
+    if version != WIRE_VERSION:
+        raise CodecError(
+            "unsupported wire version {!r} (this build speaks {})".format(
+                version, WIRE_VERSION
+            )
+        )
+    return decode_payload(structure["b"])
+
+
+# ----------------------------------------------------------------------
+# Null-renaming-aware equality
+# ----------------------------------------------------------------------
+def _canonicalize_nulls(node: object, renaming: Dict[str, str]) -> object:
+    """Rewrite every encoded labeled null to its first-occurrence-order name.
+
+    Traversal is deterministic: lists in order, dict keys sorted — the same
+    order :func:`dumps` serializes, so two payloads that differ only in null
+    names canonicalize to identical structures.
+    """
+    if isinstance(node, dict):
+        if node.get("t") == "null" and "n" in node and len(node) == 2:
+            name = node["n"]
+            if name not in renaming:
+                renaming[name] = "_{}".format(len(renaming))
+            return {"t": "null", "n": renaming[name]}
+        return {
+            key: _canonicalize_nulls(node[key], renaming) for key in sorted(node)
+        }
+    if isinstance(node, list):
+        return [_canonicalize_nulls(item, renaming) for item in node]
+    return node
+
+
+def payloads_equivalent(a: object, b: object) -> bool:
+    """Structural equality of two payloads up to labeled-null renaming.
+
+    The renaming must be *consistent* (a bijection on null names), which the
+    first-occurrence canonicalization gives for free: if the two payloads use
+    their nulls in the same positions, the canonical forms coincide; any
+    inconsistent reuse makes them differ.
+    """
+    canonical_a = _canonicalize_nulls(encode_payload(a), {})
+    canonical_b = _canonicalize_nulls(encode_payload(b), {})
+    return canonical_a == canonical_b

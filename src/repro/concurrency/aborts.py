@@ -131,6 +131,11 @@ class RunStatistics:
     #: Figure 3/4 cost panels must stay bit-identical between the batched and
     #: singleton commit paths.
     group_validation_cost_units: int = 0
+    #: Batch validations skipped by the proof-carrying fast path (every
+    #: member's writes were eagerly conflict-checked and no direct conflict
+    #: has occurred anywhere since, so the read-log re-check is provably
+    #: redundant).
+    group_validation_skips: int = 0
 
     @property
     def total_cost_units(self) -> int:
@@ -174,6 +179,7 @@ class RunStatistics:
             "group_commit_members": self.group_commit_members,
             "group_commit_fallbacks": self.group_commit_fallbacks,
             "group_validation_cost_units": self.group_validation_cost_units,
+            "group_validation_skips": self.group_validation_skips,
             "wall_seconds": self.wall_seconds,
             "per_update_seconds": self.per_update_seconds,
             "per_update_cost_units": self.per_update_cost_units,

@@ -102,6 +102,12 @@ class UpdateExecution:
         self._planner = RepairPlanner(self._mappings, null_factory)
         self._pending_writes: Optional[List[Write]] = None
         self._violation_queue: List[Violation] = []
+        #: Proof-carrying commit state, maintained by the scheduler: the
+        #: conflict epoch at which this execution's logged writes were last
+        #: eagerly conflict-checked (``None`` while it has performed no
+        #: writes — a vacuous proof).  Group commit skips re-validating a
+        #: batch whose members all carry the current epoch.
+        self.validated_conflict_epoch: Optional[int] = None
         #: The decision this execution is parked on (``None`` unless parked).
         self.pending_decision: Optional[PendingDecision] = None
         self._frontier_answer: Optional[FrontierOperation] = None

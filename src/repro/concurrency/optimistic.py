@@ -51,6 +51,7 @@ class OptimisticScheduler:
         prune_committed: bool = False,
         compact_committed: bool = True,
         group_commit: bool = True,
+        proof_carrying_commit: bool = True,
     ):
         self._store = store
         self._mappings = list(mappings)
@@ -89,6 +90,17 @@ class OptimisticScheduler:
         #: abort semantics are identical either way; only commit-time
         #: amortization differs.
         self._group_commit = group_commit
+        #: Proof-carrying commit (the default): group-commit validation is
+        #: skipped when every batch member's writes were eagerly
+        #: conflict-checked and no direct conflict has occurred anywhere
+        #: since — the re-check could only repeat verdicts already rendered.
+        #: ``False`` restores the unconditional safety-net validation (the
+        #: reference the differential tests pin the fast path against).
+        self._proof_carrying_commit = proof_carrying_commit
+        #: Monotone count of conflict-processing rounds that found at least
+        #: one direct conflict; executions stamp their last eager check with
+        #: it (see :attr:`UpdateExecution.validated_conflict_epoch`).
+        self._conflict_epoch = 0
         self._pruned_terminated = 0
 
         self._executions: Dict[int, UpdateExecution] = {}
@@ -253,6 +265,10 @@ class OptimisticScheduler:
             self.statistics.frontier_parks += 1
         if result.applied:
             self._process_conflicts(result)
+            # The step's writes have now been checked against every logged
+            # read; stamp the execution with the current conflict epoch (its
+            # earlier writes were stamped the same way by earlier steps).
+            execution.validated_conflict_epoch = self._conflict_epoch
         return result
 
     def _process_conflicts(self, result: StepResult) -> None:
@@ -263,6 +279,10 @@ class OptimisticScheduler:
         self.statistics.conflict_cost_units += report.cost_units
         if not report.direct_conflicts:
             return
+        # Conflicts change the in-flight picture (readers abort, restarts
+        # appear); advance the epoch so proof-carrying commit re-validates
+        # any batch containing writes checked before this round.
+        self._conflict_epoch += 1
         decision = consolidate_aborts(
             report.direct_conflicts, self._read_log, self._tracker, abortable
         )
@@ -331,7 +351,13 @@ class OptimisticScheduler:
         if not batch:
             return
         if self._group_commit:
-            if len(batch) > 1 and not self._validate_group(batch):
+            if len(batch) > 1 and self._batch_proof_carried(batch):
+                # Proof-carrying fast path: every member's writes were
+                # eagerly checked and nothing conflicted since — skip the
+                # redundant read-log re-check entirely.
+                self.statistics.group_validation_skips += 1
+                self._commit_members(batch)
+            elif len(batch) > 1 and not self._validate_group(batch):
                 self.statistics.group_commit_fallbacks += 1
                 for priority in batch:
                     self._commit_members([priority])
@@ -340,6 +366,23 @@ class OptimisticScheduler:
         else:
             for priority in batch:
                 self._commit_members([priority])
+
+    def _batch_proof_carried(self, batch: List[int]) -> bool:
+        """``True`` when the batch provably needs no read-log re-validation.
+
+        An execution's writes were each conflict-checked (and conflicting
+        readers aborted) the moment they were applied; only a *later*
+        conflict round could change the picture its checks ran against.  So
+        a batch is proof-carried when every member either performed no
+        writes (a vacuous proof) or carries the current conflict epoch.
+        """
+        if not self._proof_carrying_commit:
+            return False
+        for priority in batch:
+            epoch = self._executions[priority].validated_conflict_epoch
+            if epoch is not None and epoch != self._conflict_epoch:
+                return False
+        return True
 
     def _validate_group(self, batch: List[int]) -> bool:
         """Check the batch's union write set against its members' read logs.

@@ -291,7 +291,7 @@ class DeferredOracle(FrontierOracle):
     with that operation — ``decide`` itself is never retried.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, start: int = 1) -> None:
         #: Open decisions only; closed ones are dropped so a long-running
         #: service does not retain every request ever asked.
         self._decisions: Dict[int, PendingDecision] = {}
@@ -300,8 +300,16 @@ class DeferredOracle(FrontierOracle):
         #: "cancelled" from "already answered" in errors, and it grows only
         #: with aborts of parked updates, not with every decision served.
         self._cancelled_ids: set = set()
-        self._issued = 0
-        self._counter = itertools.count(1)
+        #: *start* lets a restored service resume numbering past everything a
+        #: checkpointed predecessor issued, so question-routing envelopes
+        #: still in flight can never collide with fresh decisions.
+        self._issued = start - 1
+        self._counter = itertools.count(start)
+
+    @property
+    def next_decision_id(self) -> int:
+        """The id the next :meth:`decide` will issue (checkpointed by services)."""
+        return self._issued + 1
 
     def decide(
         self, request: FrontierRequest, view: DatabaseView

@@ -13,7 +13,6 @@ stored tuple.
 
 from __future__ import annotations
 
-import itertools
 import threading
 from dataclasses import dataclass
 from typing import Iterable, Union
@@ -144,7 +143,7 @@ class NullFactory:
 
     def __init__(self, prefix: str = "x", start: int = 1):
         self._prefix = prefix
-        self._counter = itertools.count(start)
+        self._next = start
         self._lock = threading.Lock()
 
     @classmethod
@@ -179,7 +178,8 @@ class NullFactory:
     def fresh(self) -> LabeledNull:
         """Return a labeled null that has never been returned before."""
         with self._lock:
-            index = next(self._counter)
+            index = self._next
+            self._next += 1
         return LabeledNull("{}{}".format(self._prefix, index))
 
     def fresh_many(self, count: int) -> list:
@@ -190,6 +190,24 @@ class NullFactory:
     def prefix(self) -> str:
         """The prefix used for generated null names."""
         return self._prefix
+
+    def state(self) -> "tuple":
+        """The ``(prefix, next_index)`` pair a checkpoint persists.
+
+        Restoring through :meth:`from_state` resumes the exact numbering, so
+        nulls minted after a restart cannot collide with nulls this factory
+        shipped elsewhere (in envelopes, or in another peer's store) before
+        the checkpoint — which merely re-scanning the local store could not
+        guarantee.
+        """
+        with self._lock:
+            return (self._prefix, self._next)
+
+    @classmethod
+    def from_state(cls, state: "Iterable") -> "NullFactory":
+        """Rebuild a factory from a persisted :meth:`state` pair."""
+        prefix, next_index = state
+        return cls(prefix=prefix, start=int(next_index))
 
 
 #: Module-level default factory, convenient for examples and small tests.

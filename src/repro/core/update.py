@@ -63,6 +63,14 @@ class InsertOperation(UserOperation):
     def __init__(self, row: Tuple):
         self.row = row
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InsertOperation):
+            return NotImplemented
+        return self.row == other.row
+
+    def __hash__(self) -> int:
+        return hash(("insert", self.row))
+
     @property
     def is_positive(self) -> bool:
         return True
@@ -87,6 +95,14 @@ class DeleteOperation(UserOperation):
     def __init__(self, row: Tuple):
         self.row = row
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeleteOperation):
+            return NotImplemented
+        return self.row == other.row
+
+    def __hash__(self) -> int:
+        return hash(("delete", self.row))
+
     @property
     def is_positive(self) -> bool:
         return False
@@ -109,6 +125,14 @@ class NullReplacementOperation(UserOperation):
     def __init__(self, null: LabeledNull, value: object):
         self.null = null
         self.value: DataTerm = value if isinstance(value, (Constant, LabeledNull)) else Constant(value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NullReplacementOperation):
+            return NotImplemented
+        return self.null == other.null and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("replace", self.null, self.value))
 
     @property
     def is_positive(self) -> bool:

@@ -165,6 +165,16 @@ class FederatedNetwork:
         self.owner_of = owner_of
         self.rules = ExchangeRules(mappings, owner_of)
         self.transport = transport if transport is not None else Transport()
+        #: Construction parameters kept for peer restarts (see
+        #: :meth:`restart_peer`): a reborn peer's service is rebuilt with the
+        #: same tracker, admission policy and budgets as its predecessor.
+        self._ownership: Dict[str, PyTuple[str, ...]] = {
+            name: tuple(relations) for name, relations in ownership.items()
+        }
+        self._tracker_spec = tracker
+        self._admission_spec = admission
+        self._max_total_steps = max_total_steps
+        self._group_commit = group_commit
         #: Coalesce commit batches' envelopes and flush per-destination
         #: bundles; ``False`` restores per-envelope staging and sends (the
         #: reference behavior the coalescing differential tests compare to).
@@ -251,6 +261,79 @@ class FederatedNetwork:
     def heal(self, a: str, b: str) -> None:
         """Reconnect two peers; held envelopes flow again on the next pump."""
         self.transport.heal(a, b)
+
+    # ------------------------------------------------------------------
+    # Peer checkpoint and restart
+    # ------------------------------------------------------------------
+    def checkpoint_peer(self, name: str, path: str) -> None:
+        """Persist one peer's restartable state (see :meth:`Peer.checkpoint`)."""
+        self.peer(name).checkpoint(path)
+
+    def restart_peer(self, name: str, path: str) -> Peer:
+        """Kill peer *name* and rebuild it from a checkpoint file.
+
+        The old peer object (service, store, scheduler, sessions) is simply
+        dropped — that *is* the crash.  The replacement is restored from the
+        checkpoint: committed store as its initial state, pending operations
+        re-submitted with their federation origins, null-factory and
+        decision-id numbering resumed, commit-notice obligations re-linked to
+        the re-submitted tickets.  Envelopes in flight on the transport are
+        untouched and deliver to the reborn peer as usual (delivery
+        re-submits through its admission queue, so nothing cares that the
+        service behind the name changed).
+
+        Open federated questions whose *executing* peer was the killed one
+        are dropped from every inbox: their decisions died with the old
+        service, and the re-submitted updates will re-ask them under fresh
+        decision ids.  Federated tickets that were executing locally at the
+        killed peer are re-pointed at their re-submitted service tickets.
+        """
+        old = self.peer(name)
+        restored = RepositoryService.restore(
+            path,
+            self.rules.local_mappings(name),
+            tracker=self._tracker_spec,
+            admission=self._admission_spec.get(name)
+            if isinstance(self._admission_spec, dict)
+            else self._admission_spec,
+            max_total_steps=self._max_total_steps,
+            group_commit=self._group_commit,
+        )
+        extra = restored.extra
+        reborn = Peer(
+            name=name,
+            service=restored.service,
+            owned_relations=self._ownership[name],
+            rules=self.rules,
+            firing_factory=NullFactory.from_state(extra["firing_factory"]),
+            coalesce=self.coalesce_envelopes,
+        )
+        for old_ticket_id, origin_body in extra.get("notify", ()):
+            replacement = restored.resubmitted.get(old_ticket_id)
+            if replacement is not None:
+                reborn.expect_notice(
+                    replacement.ticket_id,
+                    RemoteOrigin(origin_body["peer"], origin_body["ticket"]),
+                )
+        self._peers[name] = reborn
+        # Questions executed by the dead service are unanswerable; drop them
+        # everywhere (the reborn peer re-asks under fresh decision ids).
+        for inbox in self._inboxes.values():
+            for key in [key for key in inbox if key[0] == name]:
+                del inbox[key]
+        # Re-point federated tickets that were executing at the killed peer
+        # onto their re-submitted successors (committed ones already mirrored).
+        for ticket in self._tickets.values():
+            if ticket.target != name or ticket.local_ticket is None:
+                continue
+            if ticket.is_done:
+                continue
+            replacement = restored.resubmitted.get(ticket.local_ticket.ticket_id)
+            if replacement is not None:
+                ticket.local_ticket = replacement
+        # The old peer's sessions are gone; nothing else references it.
+        del old
+        return reborn
 
     # ------------------------------------------------------------------
     # Submission and routing

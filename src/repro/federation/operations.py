@@ -63,6 +63,18 @@ class RemoteFiringOperation(UserOperation):
         #: existentials already materialized as source-fresh labeled nulls.
         self.head_rows = tuple(head_rows)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RemoteFiringOperation):
+            return NotImplemented
+        return (
+            self.tgd == other.tgd
+            and self.assignment == other.assignment
+            and self.head_rows == other.head_rows
+        )
+
+    def __hash__(self) -> int:
+        return hash(("fire", self.tgd, frozenset(self.assignment.items()), self.head_rows))
+
     @property
     def is_positive(self) -> bool:
         return True
@@ -90,6 +102,14 @@ class RemoteRetractionOperation(UserOperation):
         self.tgd = tgd
         #: The exported assignment whose last RHS match was deleted remotely.
         self.assignment = dict(assignment)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RemoteRetractionOperation):
+            return NotImplemented
+        return self.tgd == other.tgd and self.assignment == other.assignment
+
+    def __hash__(self) -> int:
+        return hash(("retract", self.tgd, frozenset(self.assignment.items())))
 
     @property
     def is_positive(self) -> bool:

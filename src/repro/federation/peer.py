@@ -229,6 +229,34 @@ class Peer:
         return opened_local, vanished
 
     # ------------------------------------------------------------------
+    # Checkpoint (durability across peer restarts)
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str) -> Dict:
+        """Persist this peer's service plus its exchange bookkeeping.
+
+        On top of the service checkpoint (committed store, watermark, pending
+        inbox, null-factory and decision-id state) the peer stores its
+        *firing* null-factory state — the factory that materializes
+        existentials inside outgoing :class:`ExchangeFiring` envelopes, whose
+        numbering must also survive a restart or a reborn peer could mint a
+        null already living in another peer's store — and the commit-notice
+        obligations (``ticket id → origin``) of routed updates still in
+        flight, so their originators still learn the terminal state after the
+        restart.  The outbox is always empty at checkpoint time in a pumped
+        federation (the network flushes it every round); anything in flight
+        on the transport survives the restart on the transport itself.
+        """
+        extra = {
+            "peer": self.name,
+            "firing_factory": list(self._firing_factory.state()),
+            "notify": [
+                [ticket_id, {"peer": origin.peer, "ticket": origin.ticket_id}]
+                for ticket_id, origin in sorted(self._notify.items())
+            ],
+        }
+        return self.service.checkpoint(path, extra=extra)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def owned_snapshot(self) -> Dict[str, frozenset]:

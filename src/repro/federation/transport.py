@@ -7,18 +7,29 @@ ordered pair of peers has its own FIFO queue; a message becomes deliverable
 an optional seeded reorderer shuffles each pump's deliverable batch (letting
 late messages overtake earlier ones), and a partitioned link *holds* its
 messages — nothing is ever dropped — until :meth:`Transport.heal` reconnects
-the pair.  This is deliberately a simulation, not a wire protocol: payloads
-are shared in-process objects, and what is being studied is the *ordering and
-timing* freedom of the paper's collaborative setting, not serialization.
+the pair.
+
+The fabric carries **bytes**, not objects: by default every payload is
+encoded through the wire codec (:mod:`repro.codec`) at :meth:`Transport.send`
+and decoded at delivery, so nothing crosses a link that could not equally
+cross a socket — every federation differential run therefore proves
+wire-serializability of the whole exchange protocol for free.  The in-process
+object mode of PR 3 survives as ``wire=False`` (and the
+``REPRO_WIRE_TRANSPORT=0`` environment override) for byte-vs-object
+differential comparisons; the *ordering and timing* semantics are identical
+in both modes.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import random
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple as PyTuple
+
+from ..codec.wire import decode_envelope, encode_envelope, payload_kind
 
 
 @dataclass(frozen=True)
@@ -42,7 +53,13 @@ class Bundle:
 
 @dataclass(frozen=True)
 class Envelope:
-    """One message in flight between two peers."""
+    """One message in flight between two peers.
+
+    On a byte transport (the default) the queued envelope's ``payload`` is
+    the encoded ``bytes`` and ``payload_kind`` names the wire kind; the
+    envelopes :meth:`Transport.pump` hands back carry the *decoded* payload
+    (receivers never see bytes).
+    """
 
     seq: int
     source: str
@@ -52,10 +69,15 @@ class Envelope:
     sent_at: int
     #: Earliest transport tick at which the message may be delivered.
     due_at: int
+    #: Wire kind of the payload ("" on an object transport).
+    payload_kind: str = ""
 
     def describe(self) -> str:
         return "envelope #{} {} -> {}: {}".format(
-            self.seq, self.source, self.destination, type(self.payload).__name__
+            self.seq,
+            self.source,
+            self.destination,
+            self.payload_kind or type(self.payload).__name__,
         )
 
 
@@ -71,7 +93,12 @@ class Transport:
       queued, not lost; healing releases them on the next pump.
     """
 
-    def __init__(self, delay: int = 0, reorder_seed: Optional[int] = None):
+    def __init__(
+        self,
+        delay: int = 0,
+        reorder_seed: Optional[int] = None,
+        wire: Optional[bool] = None,
+    ):
         if delay < 0:
             raise ValueError("delay cannot be negative")
         self._default_delay = delay
@@ -81,11 +108,17 @@ class Transport:
         self._rng = random.Random(reorder_seed) if reorder_seed is not None else None
         self._seq = itertools.count(1)
         self._tick = 0
+        if wire is None:
+            wire = os.environ.get("REPRO_WIRE_TRANSPORT", "1") != "0"
+        #: Byte transport: encode every payload through the wire codec on
+        #: send and decode it on delivery (the default; see the module doc).
+        self.wire = wire
         #: Counters for the metrics snapshot.
         self.sent = 0
         self.delivered = 0
         self.bundles_sent = 0
         self.payloads_sent = 0
+        self.wire_bytes_sent = 0
 
     # ------------------------------------------------------------------
     # Configuration
@@ -125,16 +158,28 @@ class Transport:
         return self._tick
 
     def send(self, source: str, destination: str, payload: object) -> Envelope:
-        """Enqueue *payload* on the ``source -> destination`` link."""
+        """Enqueue *payload* on the ``source -> destination`` link.
+
+        On a byte transport the payload is wire-encoded *now* — the sender's
+        live objects never enter the queue, so mutating them after ``send``
+        cannot reach the receiver, exactly as over a real socket.
+        """
         if source == destination:
             raise ValueError("a peer does not message itself over the transport")
+        kind = ""
+        queued: object = payload
+        if self.wire:
+            kind = payload_kind(payload)
+            queued = encode_envelope(payload)
+            self.wire_bytes_sent += len(queued)
         envelope = Envelope(
             seq=next(self._seq),
             source=source,
             destination=destination,
-            payload=payload,
+            payload=queued,
             sent_at=self._tick,
             due_at=self._tick + 1 + self.delay_of(source, destination),
+            payload_kind=kind,
         )
         self._queues.setdefault((source, destination), deque()).append(envelope)
         self.sent += 1
@@ -188,6 +233,13 @@ class Transport:
         if self._rng is not None and len(deliverable) > 1:
             self._rng.shuffle(deliverable)
         self.delivered += len(deliverable)
+        if self.wire:
+            # Decode at the delivery boundary: receivers get fresh objects
+            # reconstructed from the bytes, never the sender's instances.
+            deliverable = [
+                replace(envelope, payload=decode_envelope(envelope.payload))
+                for envelope in deliverable
+            ]
         return deliverable
 
     # ------------------------------------------------------------------
@@ -220,4 +272,6 @@ class Transport:
             "transport_partitioned_pairs": len(self._partitioned),
             "transport_bundles_sent": self.bundles_sent,
             "transport_payloads_sent": self.payloads_sent,
+            "transport_wire": int(self.wire),
+            "transport_wire_bytes_sent": self.wire_bytes_sent,
         }

@@ -8,46 +8,32 @@ in-memory evaluator against a real SQL engine.
 
 Terms are encoded into a single text column per attribute: constants as
 ``c:<value>`` and labeled nulls as ``n:<name>``.  The encoding preserves
-equality, which is all conjunctive-query evaluation needs.
+equality, which is all conjunctive-query evaluation needs; its single
+definition lives in :mod:`repro.codec.rows` (re-exported here for backward
+compatibility) and is shared with the SQLite backend.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple as PyTuple
 
+from ..codec.rows import decode_row, decode_term, encode_row, encode_term
 from ..core.atoms import Atom
 from ..core.schema import DatabaseSchema
-from ..core.terms import Constant, DataTerm, LabeledNull, Variable, is_variable
+from ..core.terms import DataTerm, Variable, is_variable
 from ..core.tgd import Tgd
-from ..core.tuples import Tuple
 
-
-def encode_term(term: DataTerm) -> str:
-    """Encode a data term into its storage string."""
-    if isinstance(term, LabeledNull):
-        return "n:{}".format(term.name)
-    if isinstance(term, Constant):
-        return "c:{}".format(term.value)
-    raise TypeError("cannot encode {!r} for SQL storage".format(term))
-
-
-def decode_term(text: str) -> DataTerm:
-    """Decode a storage string back into a data term."""
-    if text.startswith("n:"):
-        return LabeledNull(text[2:])
-    if text.startswith("c:"):
-        return Constant(text[2:])
-    raise ValueError("malformed encoded term {!r}".format(text))
-
-
-def encode_row(row: Tuple) -> PyTuple[str, ...]:
-    """Encode every field of *row*."""
-    return tuple(encode_term(value) for value in row.values)
-
-
-def decode_row(relation: str, fields: Sequence[str]) -> Tuple:
-    """Decode a stored row of *relation*."""
-    return Tuple(relation, [decode_term(field) for field in fields])
+__all__ = [
+    "conjunction_sql",
+    "conjunctive_query_sql",
+    "create_table_statement",
+    "decode_row",
+    "decode_term",
+    "encode_row",
+    "encode_term",
+    "quote_identifier",
+    "violation_query_sql",
+]
 
 
 def quote_identifier(name: str) -> str:

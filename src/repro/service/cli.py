@@ -43,6 +43,18 @@ def _parse_arguments(argv: Optional[Sequence[str]] = None) -> argparse.Namespace
         "--max-ticks", type=int, default=10_000, help="safety valve on driver ticks"
     )
     parser.add_argument("--tracker", default="PRECISE", help="dependency tracker to use")
+    parser.add_argument(
+        "--snapshot-path",
+        default=None,
+        help="write a service checkpoint (committed state, watermark, pending "
+        "inbox) to this path after the run",
+    )
+    parser.add_argument(
+        "--restore",
+        action="store_true",
+        help="restore the service from --snapshot-path before serving "
+        "(instead of starting from the fixture repository)",
+    )
     return parser.parse_args(argv)
 
 
@@ -50,12 +62,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Command-line entry point."""
     arguments = _parse_arguments(argv)
     database, mappings = genealogy_repository()
-    service = RepositoryService(
-        database.snapshot(),
-        mappings,
-        tracker=arguments.tracker,
-        admission=AdmissionConfig(max_in_flight=arguments.max_in_flight),
-    )
+    if arguments.restore:
+        if not arguments.snapshot_path:
+            raise SystemExit("--restore requires --snapshot-path")
+        restored = RepositoryService.restore(
+            arguments.snapshot_path,
+            mappings,
+            tracker=arguments.tracker,
+            admission=AdmissionConfig(max_in_flight=arguments.max_in_flight),
+        )
+        service = restored.service
+        print(
+            "Restored service from {} ({} pending update(s) re-submitted)".format(
+                arguments.snapshot_path, len(restored.resubmitted)
+            )
+        )
+    else:
+        service = RepositoryService(
+            database.snapshot(),
+            mappings,
+            tracker=arguments.tracker,
+            admission=AdmissionConfig(max_in_flight=arguments.max_in_flight),
+        )
     specs = [
         ClientSpec(
             name="client-{:02d}".format(index),
@@ -92,6 +120,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             statistics.frontier_resumes,
         )
     )
+    if arguments.snapshot_path:
+        body = service.checkpoint(arguments.snapshot_path)
+        print(
+            "Checkpoint written to {} (watermark {}, {} pending)".format(
+                arguments.snapshot_path, body["watermark"], len(body["pending"])
+            )
+        )
     return 0
 
 

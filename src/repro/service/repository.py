@@ -64,6 +64,18 @@ class PumpReport:
     parked: List[InboxQuestion] = field(default_factory=list)
 
 
+@dataclass
+class RestoredService:
+    """What :meth:`RepositoryService.restore` hands back."""
+
+    #: The freshly built service, seeded with the checkpoint's committed state.
+    service: "RepositoryService"
+    #: Old ticket id (at checkpoint time) → the re-submitted ticket.
+    resubmitted: Dict[int, "UpdateTicket"] = field(default_factory=dict)
+    #: The opaque extra dict the checkpointing caller stored.
+    extra: Dict = field(default_factory=dict)
+
+
 class RepositoryService:
     """A multi-client update-exchange service over one Youtopia repository."""
 
@@ -78,15 +90,25 @@ class RepositoryService:
         clock: Callable[[], float] = time.perf_counter,
         null_factory: Optional[NullFactory] = None,
         group_commit: bool = True,
+        durable_dir: Optional[str] = None,
+        first_decision_id: int = 1,
     ):
         if isinstance(tracker, str):
             tracker = make_tracker(tracker)
         self._clock = clock
         store = VersionedDatabase(initial.schema)
         store.load_initial(initial)
-        self._oracle = DeferredOracle()
+        if durable_dir is not None:
+            # Durable mode: mirror the write log to codec-encoded segment
+            # files so "snapshot below the watermark + surviving segments"
+            # always reproduces this repository (see repro.storage.durable).
+            from ..storage.durable import WriteLogSegments
+
+            store.attach_segments(WriteLogSegments(durable_dir))
+        self._oracle = DeferredOracle(start=first_decision_id)
         if null_factory is None:
             null_factory = NullFactory.avoiding_view(initial, prefix="s")
+        self._null_factory = null_factory
         self._scheduler = OptimisticScheduler(
             store=store,
             mappings=mappings,
@@ -352,6 +374,130 @@ class RepositoryService:
     def snapshot(self) -> FrozenDatabase:
         """An immutable snapshot of the committed repository state."""
         return self._scheduler.store.materialize(self._scheduler.commit_watermark())
+
+    # ------------------------------------------------------------------
+    # Checkpoint and restore (durability across restarts)
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str, extra: Optional[Dict] = None) -> Dict:
+        """Persist everything a restarted service needs to resume this one.
+
+        The checkpoint file (wire-codec encoded, versioned) holds:
+
+        * the **committed store** below the scheduler's commit watermark (and
+          the watermark itself) — in-flight chase work is deliberately *not*
+          serialized: an uncommitted update is exactly re-executable from its
+          initial operation, so
+        * the **pending inbox**: every queued or admitted-but-uncommitted
+          ticket's operation and federation origin, in submission order, for
+          re-submission at restore;
+        * the **null-factory state**, so post-restart fresh nulls can never
+          collide with nulls this service already shipped elsewhere;
+        * the **next decision id**, so post-restart frontier questions can
+          never collide with question-routing envelopes still in flight;
+        * an opaque *extra* dict for the caller (the federation peer stores
+          its exchange bookkeeping there).
+
+        Returns the decoded body (handy for tests and logging).
+        """
+        import os
+
+        from ..codec.wire import WIRE_VERSION, dumps, encode_user_operation
+        from ..storage.durable import encode_committed_state
+
+        watermark = self._scheduler.commit_watermark()
+        committed = self._scheduler.store.view_for(watermark)
+        pending = []
+        for ticket in self.tickets():
+            if ticket.is_done:
+                continue
+            entry: Dict = {
+                "ticket": ticket.ticket_id,
+                "op": encode_user_operation(ticket.operation),
+            }
+            if ticket.origin is not None:
+                entry["origin"] = {
+                    "peer": ticket.origin.peer,
+                    "ticket": ticket.origin.ticket_id,
+                }
+            pending.append(entry)
+        # The committed-state body is the same dialect snapshot files use
+        # (one shared encoder), wrapped with the service-side extras.
+        body: Dict = dict(encode_committed_state(committed, watermark))
+        body.update({
+            "v": WIRE_VERSION,
+            "t": "service-checkpoint",
+            "null_factory": list(self._null_factory.state()),
+            "next_decision_id": self._oracle.next_decision_id,
+            "pending": pending,
+            "extra": extra or {},
+        })
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(dumps(body) + b"\n")
+        return body
+
+    @classmethod
+    def restore(
+        cls,
+        path: str,
+        mappings: Sequence[Tgd],
+        **service_arguments,
+    ) -> "RestoredService":
+        """Rebuild a service from a :meth:`checkpoint` file.
+
+        The committed snapshot becomes the new service's initial database;
+        the checkpointed null-factory state and decision-id high-water mark
+        carry over (unless the caller overrides ``null_factory`` /
+        ``first_decision_id`` explicitly); every pending operation is
+        re-submitted — with its federation origin — through a fresh
+        ``"restore"`` session, in the original submission order.  Returns a
+        :class:`RestoredService` with the old-ticket-id → new-ticket mapping
+        so callers (the federation peer) can re-link their bookkeeping.
+        """
+        import json as _json
+
+        from ..codec.wire import CodecError, WIRE_VERSION, decode_user_operation
+        from ..storage.durable import decode_committed_state
+
+        with open(path, "rb") as handle:
+            body = _json.loads(handle.read().decode("utf-8"))
+        if body.get("v") != WIRE_VERSION:
+            raise CodecError(
+                "unsupported checkpoint version {!r} (this build speaks {})".format(
+                    body.get("v"), WIRE_VERSION
+                )
+            )
+        if body.get("t") != "service-checkpoint":
+            raise CodecError("not a service checkpoint: {!r}".format(path))
+        _, initial, _ = decode_committed_state(body)
+        service_arguments.setdefault(
+            "null_factory", NullFactory.from_state(body["null_factory"])
+        )
+        service_arguments.setdefault("first_decision_id", body["next_decision_id"])
+        service = cls(initial, mappings, **service_arguments)
+        session = service.open_session("restore")
+        resubmitted: Dict[int, UpdateTicket] = {}
+        for entry in body["pending"]:
+            origin = None
+            if "origin" in entry:
+                origin = RemoteOrigin(
+                    peer=entry["origin"]["peer"], ticket_id=entry["origin"]["ticket"]
+                )
+            ticket = service.submit(
+                session.session_id,
+                decode_user_operation(entry["op"]),
+                origin=origin,
+            )
+            resubmitted[entry["ticket"]] = ticket
+        return RestoredService(
+            service=service, resubmitted=resubmitted, extra=body.get("extra", {})
+        )
+
+    @property
+    def null_factory(self) -> NullFactory:
+        """The factory minting this repository's fresh labeled nulls."""
+        return self._null_factory
 
     # ------------------------------------------------------------------
     # Introspection

@@ -13,6 +13,7 @@ from .versioned import (
     VersionedView,
     VersionedWrite,
 )
+from .durable import WriteLogSegments, read_snapshot, write_snapshot
 
 __all__ = [
     "DatabaseView",
@@ -29,7 +30,10 @@ __all__ = [
     "VersionedTuple",
     "VersionedView",
     "VersionedWrite",
+    "WriteLogSegments",
     "dump_sorted",
+    "read_snapshot",
     "view_with_write",
     "view_without_write",
+    "write_snapshot",
 ]

@@ -2,8 +2,10 @@
 
 The paper presents a chase step's reads as SQL queries against an RDBMS
 (Example 4.1).  This backend mirrors a repository into an SQLite database —
-one table per relation, one TEXT column per attribute, terms encoded as
-strings — and evaluates conjunctive and violation queries by generating SQL.
+one table per relation, one TEXT column per attribute, terms encoded through
+the canonical row codec (:mod:`repro.codec.rows`, shared with the SQL
+generator) — and evaluates conjunctive and violation queries by generating
+SQL.
 
 It serves two purposes:
 
@@ -20,6 +22,7 @@ from __future__ import annotations
 import sqlite3
 from typing import Dict, Iterator, List, Optional, Sequence
 
+from ..codec.rows import decode_row, decode_term, encode_row, encode_term
 from ..core.atoms import Atom
 from ..core.schema import DatabaseSchema, SchemaError
 from ..core.terms import DataTerm, LabeledNull, Variable
@@ -28,10 +31,6 @@ from ..core.tuples import Tuple
 from ..query.sql import (
     conjunctive_query_sql,
     create_table_statement,
-    decode_row,
-    decode_term,
-    encode_row,
-    encode_term,
     quote_identifier,
     violation_query_sql,
 )

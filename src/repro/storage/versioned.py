@@ -190,6 +190,10 @@ class VersionedDatabase:
         self._relation_stamps: Dict[str, int] = {}
         #: Number of compaction passes performed (introspection).
         self.compactions = 0
+        #: Optional durable redo log (:class:`~repro.storage.durable.WriteLogSegments`):
+        #: when attached, every applied write, rollback and compaction is
+        #: mirrored to codec-encoded segment files (see :meth:`attach_segments`).
+        self._segments = None
 
     # ------------------------------------------------------------------
     # Loading and basic accessors
@@ -209,6 +213,46 @@ class VersionedDatabase:
         for relation in view.relations():
             for row in view.tuples(relation):
                 self._new_tuple(row, priority, log_write=None)
+
+    def attach_segments(self, segments) -> None:
+        """Enable durable mode: mirror the write log to *segments*.
+
+        *segments* is a :class:`~repro.storage.durable.WriteLogSegments`.
+        From this call on, every applied write is appended to the segment
+        files through the wire codec, rollbacks append tombstones, and
+        :meth:`compact_below` both records the watermark and drops fully
+        covered segment files — so ``snapshot_to(path, watermark)`` plus the
+        surviving segments always reproduce the store (see
+        :mod:`repro.storage.durable`).
+        """
+        self._segments = segments
+
+    @property
+    def segments(self):
+        """The attached durable segment log (``None`` in memory-only mode)."""
+        return self._segments
+
+    def snapshot_to(self, path: str, watermark: float) -> None:
+        """Persist the committed store at *watermark* as one codec snapshot."""
+        from .durable import write_snapshot
+
+        write_snapshot(path, self.view_for(watermark), int(watermark))
+
+    @classmethod
+    def restore_from(cls, path: str) -> "PyTuple[VersionedDatabase, int]":
+        """Rebuild a store from a :meth:`snapshot_to` file.
+
+        Returns ``(store, watermark)``: the snapshot's rows are loaded as
+        priority-0 initial contents (visible to every future update), exactly
+        like :meth:`load_initial` — a restored store starts a fresh priority
+        sequence, which is what the service layer's checkpoint/restore wants.
+        """
+        from .durable import read_snapshot
+
+        _, frozen, watermark = read_snapshot(path)
+        store = cls(frozen.schema)
+        store.load_initial(frozen)
+        return store, watermark
 
     def write_log(self) -> WriteLogView:
         """The full write log, oldest first (a read-only, copy-free view)."""
@@ -377,6 +421,8 @@ class VersionedDatabase:
 
     def _append_log(self, entry: VersionedWrite) -> None:
         self._write_log.append(entry)
+        if self._segments is not None:
+            self._segments.append((entry,))
         priority = entry.priority
         self._log_by_priority.setdefault(priority, []).append(entry)
         self._log_seqs.setdefault(priority, []).append(entry.seq)
@@ -403,6 +449,8 @@ class VersionedDatabase:
         if not entries:
             return
         self._write_log.extend(entries)
+        if self._segments is not None:
+            self._segments.append(entries)
         by_priority: Dict[int, List[VersionedWrite]] = {}
         for entry in entries:
             by_priority.setdefault(entry.priority, []).append(entry)
@@ -526,6 +574,8 @@ class VersionedDatabase:
         removed = self._log_by_priority.get(priority)
         if not removed:
             return []
+        if self._segments is not None:
+            self._segments.record_rollback(priority)
         self._bump_relations({entry.write.relation for entry in removed})
         self._drop_priority_log(priority)
         for tid in {entry.tid for entry in removed}:
@@ -693,6 +743,11 @@ class VersionedDatabase:
         # consumers stay conservatively correct.
         self._bump_relations(touched_relations)
         self.compactions += 1
+        if self._segments is not None:
+            # Mirror the watermark to disk: fully covered segment files can
+            # go, so the durable footprint tracks the in-flight set exactly
+            # like the in-memory log does.
+            self._segments.compact_below(watermark)
         return removed_versions
 
     # ------------------------------------------------------------------

@@ -1,0 +1,193 @@
+"""Golden-bytes fixtures: the wire dialect is pinned, byte for byte.
+
+``golden_envelopes.jsonl`` records the exact bytes the codec produced for a
+fixed set of representative payloads at the time the format was frozen.  The
+test re-encodes the same payloads and compares byte-for-byte, and decodes the
+recorded bytes back to the expected objects — so *any* accidental change to
+an encoder (a renamed key, a reordered member, a float formatting change)
+fails loudly here instead of silently forking the wire dialect between
+builds.  A deliberate format change must bump
+:data:`~repro.codec.WIRE_VERSION` and regenerate the fixture:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/codec/test_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.codec import decode_envelope, encode_envelope
+from repro.core.atoms import Atom
+from repro.core.frontier import (
+    DeleteSubsetOperation,
+    ExpandOperation,
+    FrontierTuple,
+    NegativeFrontierRequest,
+    PositiveFrontierRequest,
+)
+from repro.core.terms import Constant, LabeledNull, Variable
+from repro.core.tgd import Tgd
+from repro.core.tuples import Tuple
+from repro.core.update import DeleteOperation, InsertOperation
+from repro.core.violations import Violation, ViolationKind
+from repro.federation.envelopes import (
+    CommitNotice,
+    ExchangeFiring,
+    ExchangeRetraction,
+    QuestionAnswer,
+    QuestionCancelled,
+    QuestionOpened,
+    RemoteUpdate,
+    freeze_assignment,
+)
+from repro.federation.operations import RemoteFiringOperation
+from repro.federation.transport import Bundle
+from repro.service.tickets import RemoteOrigin, TicketStatus
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_envelopes.jsonl")
+
+_TGD = Tgd(
+    [Atom("A", [Variable("x"), Constant("k")])],
+    [Atom("B", [Variable("x"), Variable("z")])],
+    name="sigma1",
+)
+_ORIGIN = RemoteOrigin("p0", 11)
+_VIOLATION = Violation(
+    tgd=_TGD,
+    bindings=freeze_assignment({Variable("x"): Constant("c1")}),
+    witness=(Tuple("A", [Constant("c1"), Constant("k")]),),
+    kind=ViolationKind.LHS,
+)
+_FRONTIER = FrontierTuple(
+    row=Tuple("B", [Constant("c1"), LabeledNull("x3")]),
+    violation=_VIOLATION,
+    candidates=(Tuple("B", [Constant("c1"), Constant("nyc")]),),
+    fresh_nulls=frozenset({LabeledNull("x3")}),
+)
+
+
+def golden_payloads():
+    """The fixed payload set the fixture pins, in a stable order."""
+    firing = ExchangeFiring(
+        tgd=_TGD,
+        assignment_items=freeze_assignment({Variable("x"): Constant("c1")}),
+        head_rows=(Tuple("B", [Constant("c1"), LabeledNull("p0f1")]),),
+        origin=_ORIGIN,
+    )
+    return [
+        ("remote-update-insert", RemoteUpdate(
+            operation=InsertOperation(Tuple("A", [Constant(7), Constant("k")])),
+            origin=_ORIGIN,
+        )),
+        ("remote-update-delete", RemoteUpdate(
+            operation=DeleteOperation(Tuple("A", [Constant("c9"), Constant("k")])),
+            origin=RemoteOrigin("p2", 3),
+        )),
+        ("firing", firing),
+        ("retraction", ExchangeRetraction(
+            tgd=_TGD,
+            assignment_items=freeze_assignment({Variable("x"): Constant("c1")}),
+            removed_row=Tuple("B", [Constant("c1"), Constant("d")]),
+            origin=_ORIGIN,
+        )),
+        ("remote-firing-operation", RemoteUpdate(
+            operation=RemoteFiringOperation(
+                _TGD,
+                {Variable("x"): Constant("c1")},
+                (Tuple("B", [Constant("c1"), LabeledNull("p1f4")]),),
+            ),
+            origin=_ORIGIN,
+        )),
+        ("question-opened-positive", QuestionOpened(
+            executing_peer="p1",
+            decision_id=5,
+            request=PositiveFrontierRequest(
+                violation=_VIOLATION, frontier_tuples=(_FRONTIER,)
+            ),
+            origin=_ORIGIN,
+            ticket_description="ticket #11 [running]",
+        )),
+        ("question-opened-negative", QuestionOpened(
+            executing_peer="p1",
+            decision_id=6,
+            request=NegativeFrontierRequest(
+                violation=_VIOLATION,
+                candidates=(
+                    Tuple("A", [Constant("c1"), Constant("k")]),
+                    Tuple("A", [Constant("c2"), Constant("k")]),
+                ),
+            ),
+            origin=_ORIGIN,
+            ticket_description="ticket #12 [running]",
+        )),
+        ("question-cancelled", QuestionCancelled(
+            executing_peer="p1", decision_id=5, origin=_ORIGIN
+        )),
+        ("question-answer-index", QuestionAnswer(
+            executing_peer="p1", decision_id=5, choice=0, answered_by="p0"
+        )),
+        ("question-answer-expand", QuestionAnswer(
+            executing_peer="p1",
+            decision_id=5,
+            choice=ExpandOperation(_FRONTIER),
+            answered_by="p0",
+        )),
+        ("question-answer-delete", QuestionAnswer(
+            executing_peer="p1",
+            decision_id=6,
+            choice=DeleteSubsetOperation((Tuple("A", [Constant("c1"), Constant("k")]),)),
+            answered_by="p0",
+        )),
+        ("commit-notice", CommitNotice(origin=_ORIGIN, status=TicketStatus.COMMITTED)),
+        ("commit-notice-failed", CommitNotice(
+            origin=RemoteOrigin("p3", 8), status=TicketStatus.FAILED
+        )),
+        ("bundle", Bundle((
+            firing,
+            CommitNotice(origin=_ORIGIN, status=TicketStatus.COMMITTED),
+        ))),
+        ("raw-scalar", "transport-smoke"),
+    ]
+
+
+def _load_fixture():
+    records = {}
+    with open(GOLDEN_PATH) as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            records[record["name"]] = record["bytes"]
+    return records
+
+
+def test_fixture_exists_or_regenerate():
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1" or not os.path.exists(GOLDEN_PATH):
+        with open(GOLDEN_PATH, "w") as handle:
+            for name, payload in golden_payloads():
+                handle.write(json.dumps({
+                    "name": name,
+                    "bytes": encode_envelope(payload).decode("ascii"),
+                }) + "\n")
+    assert os.path.exists(GOLDEN_PATH)
+
+
+@pytest.mark.parametrize("name,payload", golden_payloads())
+def test_encoding_matches_golden_bytes(name, payload):
+    recorded = _load_fixture()
+    assert name in recorded, (
+        "no golden record for {!r}; regenerate with REPRO_REGEN_GOLDEN=1".format(name)
+    )
+    assert encode_envelope(payload).decode("ascii") == recorded[name], (
+        "wire bytes for {!r} changed; a deliberate format change must bump "
+        "WIRE_VERSION and regenerate the fixture".format(name)
+    )
+
+
+@pytest.mark.parametrize("name,payload", golden_payloads())
+def test_golden_bytes_decode_to_expected_payloads(name, payload):
+    recorded = _load_fixture()
+    assert decode_envelope(recorded[name].encode("ascii")) == payload

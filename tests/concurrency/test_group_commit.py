@@ -49,7 +49,7 @@ PANEL_FIELDS = (
 
 
 def _run(environment, operations, mappings, tracker_name, seed, group_commit,
-         scheduler_class=OptimisticScheduler):
+         scheduler_class=OptimisticScheduler, **scheduler_kwargs):
     store = VersionedDatabase(environment.schema)
     store.load_initial(environment.initial)
     scheduler = scheduler_class(
@@ -60,6 +60,7 @@ def _run(environment, operations, mappings, tracker_name, seed, group_commit,
         policy=make_policy("round-robin-step"),
         null_factory=NullFactory.avoiding_view(environment.initial, prefix="g"),
         group_commit=group_commit,
+        **scheduler_kwargs,
     )
     scheduler.submit_all(operations)
     statistics = scheduler.run()
@@ -162,6 +163,9 @@ def test_failed_validation_falls_back_to_singletons():
     vetoed, vetoed_stats = _run(
         environment, operations, mappings, "PRECISE", config.seed,
         group_commit=True, scheduler_class=VetoingScheduler,
+        # The proof-carrying fast path would bypass the vetoed validation
+        # entirely; this test is about the fallback, so force validation.
+        proof_carrying_commit=False,
     )
     single, single_stats = _run(
         environment, operations, mappings, "PRECISE", config.seed, group_commit=False
@@ -172,6 +176,44 @@ def test_failed_validation_falls_back_to_singletons():
     # Every multi-member batch was vetoed and fell back.
     assert vetoed_stats.group_commits == single_stats.group_commits
     assert vetoed_stats.group_commit_fallbacks >= 0
+
+
+@pytest.mark.parametrize("workload", [INSERT_WORKLOAD, MIXED_WORKLOAD])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_proof_carrying_commit_skips_redundant_validation(workload, seed):
+    """The fast path skips read-log re-checks with bit-identical semantics.
+
+    Proof-carrying commit tracks "validated since the last conflict" per
+    execution; when a whole batch carries the proof, the group-commit
+    validation is skipped.  Both the committed store and every panel counter
+    must match the always-validate path exactly, and on these workloads the
+    fast path must actually fire (multi-member batches exist).
+    """
+    config = ExperimentConfig.tiny_scale()
+    environment = build_environment(config)
+    mappings = mapping_prefix(environment.mappings, 10)
+    operations = build_workload(environment, workload, seed)
+
+    fast, fast_stats = _run(
+        environment, operations, mappings, "PRECISE", seed,
+        group_commit=True, proof_carrying_commit=True,
+    )
+    checked, checked_stats = _run(
+        environment, operations, mappings, "PRECISE", seed,
+        group_commit=True, proof_carrying_commit=False,
+    )
+    assert fast.final_database().to_dict() == checked.final_database().to_dict()
+    for field in PANEL_FIELDS:
+        assert getattr(fast_stats, field) == getattr(checked_stats, field), field
+    # Same batching either way; the only difference is validation work.
+    assert fast_stats.group_commits == checked_stats.group_commits
+    assert fast_stats.group_commit_members == checked_stats.group_commit_members
+    assert fast_stats.group_commit_fallbacks == checked_stats.group_commit_fallbacks == 0
+    if checked_stats.group_validation_cost_units > 0:
+        # Every multi-member batch skipped its validation on the fast path.
+        assert fast_stats.group_validation_skips > 0
+        assert fast_stats.group_validation_cost_units == 0
+    assert checked_stats.group_validation_skips == 0
 
 
 def test_group_validation_passes_on_clean_runs():

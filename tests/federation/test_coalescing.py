@@ -123,26 +123,39 @@ class TestBundleTransport:
         assert transport.sent == 0
 
     def test_single_payload_is_sent_bare(self):
-        transport = Transport()
+        transport = Transport(wire=True)
         envelope = transport.send_bundle("a", "b", ["payload"])
-        assert envelope is not None and envelope.payload == "payload"
+        assert envelope is not None and envelope.payload_kind == "raw"
         assert transport.bundles_sent == 0
         assert transport.payloads_sent == 1
+        [delivered] = transport.pump()
+        assert delivered.payload == "payload"
 
     def test_many_payloads_share_one_envelope(self):
-        transport = Transport()
+        transport = Transport(wire=True)
         envelope = transport.send_bundle("a", "b", ["one", "two", "three"])
-        assert isinstance(envelope.payload, Bundle)
-        assert envelope.payload.payloads == ("one", "two", "three")
-        assert len(envelope.payload) == 3
+        # The queued envelope carries bytes on the (default) byte transport;
+        # the wire kind names the bundle without decoding it.
+        assert envelope.payload_kind == "bundle"
+        assert isinstance(envelope.payload, bytes)
         assert transport.sent == 1
         assert transport.bundles_sent == 1
         assert transport.payloads_sent == 3
-        delivered = transport.pump()
-        assert delivered == [envelope]
+        [delivered] = transport.pump()
+        assert isinstance(delivered.payload, Bundle)
+        assert delivered.payload.payloads == ("one", "two", "three")
+        assert len(delivered.payload) == 3
         metrics = transport.metrics()
         assert metrics["transport_bundles_sent"] == 1
         assert metrics["transport_payloads_sent"] == 3
+        assert metrics["transport_wire_bytes_sent"] > 0
+
+    def test_object_mode_keeps_payload_instances(self):
+        transport = Transport(wire=False)
+        envelope = transport.send_bundle("a", "b", ["one", "two"])
+        assert isinstance(envelope.payload, Bundle)
+        [delivered] = transport.pump()
+        assert delivered.payload is envelope.payload
 
 
 def _run_network(environment, coalesce, delay=1, reorder_seed=None):

@@ -321,3 +321,30 @@ def test_serve_cli_runs_a_small_closed_loop(capsys):
     assert "Closed-loop run over" in output
     assert "Service metrics" in output
     assert "1 submitted, 1 committed" in output
+
+
+def test_serve_cli_snapshot_and_restore(tmp_path, capsys):
+    from repro.service.cli import main
+
+    path = str(tmp_path / "serve.ckpt")
+    assert main([
+        "--clients", "2", "--updates", "1", "--answer-delay", "1",
+        "--snapshot-path", path,
+    ]) == 0
+    output = capsys.readouterr().out
+    assert "Checkpoint written to {}".format(path) in output
+    # Second serve restores from the checkpoint and runs a fresh workload.
+    assert main([
+        "--clients", "1", "--updates", "1", "--answer-delay", "1",
+        "--snapshot-path", path, "--restore",
+    ]) == 0
+    output = capsys.readouterr().out
+    assert "Restored service from {}".format(path) in output
+    assert "Closed-loop run over" in output
+
+
+def test_serve_cli_restore_requires_snapshot_path():
+    from repro.service.cli import main
+
+    with pytest.raises(SystemExit, match="--restore requires --snapshot-path"):
+        main(["--restore"])
