@@ -29,6 +29,8 @@ import os
 import time
 
 from repro.core.oracle import AlwaysExpandOracle
+from repro.obs.analysis import PHASES, TraceAnalysis
+from repro.obs.trace import Tracer
 from repro.federation import (
     FederatedNetwork,
     Transport,
@@ -75,7 +77,7 @@ BATCHED_ADMISSION = AdmissionConfig(
 )
 
 
-def _run_once(environment, batched: bool, wire: bool = False):
+def _run_once(environment, batched: bool, wire: bool = False, tracer=None):
     # ``wire=False`` isolates the batched-execution measurement from the
     # PR 5 byte-codec cost, keeping it comparable with the PR 3/PR 4
     # recorded numbers; the wire-mode run is measured (and recorded)
@@ -90,6 +92,7 @@ def _run_once(environment, batched: bool, wire: bool = False):
             coalesce_envelopes=True,
             group_commit=True,
             admission=BATCHED_ADMISSION,
+            tracer=tracer,
         )
     else:
         network = FederatedNetwork(
@@ -100,6 +103,7 @@ def _run_once(environment, batched: bool, wire: bool = False):
             transport=Transport(delay=1, wire=wire),
             coalesce_envelopes=False,
             group_commit=False,
+            tracer=tracer,
         )
     specs = [
         FederatedClientSpec(peer=peer, name="client@{}".format(peer), operations=list(ops))
@@ -145,6 +149,16 @@ def test_batched_federation_throughput():
     wire_wall, wire_committed, _, wire_metrics, _ = _run_once(
         environment, batched=True, wire=True
     )
+
+    # The ``wire_overhead_factor`` decomposition: one traced wire-mode run
+    # splits the wall time into measured phases — how much is codec CPU
+    # (encode+decode), how much simulated transit, how much chase vs.
+    # validation — turning the overhead ratio from a mystery into numbers.
+    tracer = Tracer()
+    _run_once(environment, batched=True, wire=True, tracer=tracer)
+    analysis = TraceAnalysis(tracer.spans)
+    phase_seconds = analysis.phase_breakdown()
+    phase_total = sum(phase_seconds.values()) or 1e-9
 
     # Differential semantics: both executions are the same chase, up to null
     # renaming — and both equal the single-repository reference.
@@ -200,19 +214,19 @@ def test_batched_federation_throughput():
         "wire_bytes_sent": wire_metrics["transport_wire_bytes_sent"],
         "wire_overhead_factor": (wire_committed / max(wire_wall, 1e-9))
         / max(committed_per_second, 1e-9),
+        # Measured decomposition of the traced wire-mode run (seconds per
+        # phase and each phase's share of the instrumented time).
+        "trace_phase_breakdown": phase_seconds,
+        "trace_phase_fractions": {
+            phase: phase_seconds[phase] / phase_total for phase in PHASES
+        },
+        "trace_wire_codec_seconds": phase_seconds["wire"],
+        "trace_wire_bytes_by_kind": analysis.wire_bytes_by_kind(),
     }
 
-    recorded = {}
-    if os.path.exists(RESULT_PATH):
-        try:
-            with open(RESULT_PATH) as handle:
-                recorded = json.load(handle)
-        except ValueError:
-            recorded = {}
-    recorded["batched"] = entry
-    with open(RESULT_PATH, "w") as handle:
-        json.dump(recorded, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    from test_federation import _merge_entry
+
+    _merge_entry("batched", entry)
 
     print(
         "\nbatched federation bench ({} peers, {} scale): {} committed in "
@@ -231,6 +245,17 @@ def test_batched_federation_throughput():
             metrics["envelopes_coalesced"],
             entry["restarts"],
             entry["baseline_restarts"],
+        )
+    )
+    print(
+        "  wire phase decomposition (traced run): "
+        + "  ".join(
+            "{}={:.4f}s ({:.0f}%)".format(
+                phase,
+                phase_seconds[phase],
+                100.0 * entry["trace_phase_fractions"][phase],
+            )
+            for phase in PHASES
         )
     )
 

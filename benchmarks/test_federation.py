@@ -8,6 +8,14 @@ entry into ``BENCH_scaling.json`` so the perf trajectory file carries the
 multi-peer measurement alongside the tracker one (CI uploads the file as an
 artifact from the non-blocking benchmarks job).
 
+The closed-loop bench additionally replays the scenario with causal tracing
+enabled over the wire-format transport: the span export lands in
+``BENCH_trace.jsonl`` (uploaded next to the scaling file by CI), the entry
+gains a measured per-phase decomposition of where the wall time goes — the
+``wire_overhead_factor`` mystery as chase vs. validation vs. codec CPU vs.
+simulated transit — and the run asserts that at least one remote firing's
+causal chain reconstructs across peers.
+
 Scales with ``REPRO_BENCH_SCALE`` (tiny/small/paper) like the other benches.
 """
 
@@ -18,6 +26,8 @@ import os
 import time
 
 from repro.core.oracle import AlwaysExpandOracle
+from repro.obs.analysis import TraceAnalysis
+from repro.obs.trace import Tracer
 from repro.federation import (
     FederatedNetwork,
     Transport,
@@ -60,6 +70,53 @@ RESULT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_scaling.json",
 )
+
+TRACE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_trace.jsonl",
+)
+
+
+def _merge_entry(key, entry):
+    """Merge one entry into the trajectory file, preserving other keys."""
+    recorded = {}
+    if os.path.exists(RESULT_PATH):
+        try:
+            with open(RESULT_PATH) as handle:
+                recorded = json.load(handle)
+        except ValueError:
+            recorded = {}
+    recorded[key] = entry
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(recorded, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _traced_replay(environment, config):
+    """Re-run the scenario traced over the wire transport; analyse the spans.
+
+    A separate replay (rather than tracing the measured run) keeps the
+    throughput number clean: the measured run stays untraced, the replay
+    pays for instrumentation and yields the decomposition.
+    """
+    tracer = Tracer()
+    network = FederatedNetwork(
+        environment.schema,
+        environment.initial,
+        list(environment.mappings),
+        environment.ownership,
+        transport=Transport(delay=1, wire=True),
+        tracer=tracer,
+    )
+    specs = [
+        FederatedClientSpec(peer=peer, name="client@{}".format(peer), operations=list(ops))
+        for peer, ops in environment.operations.items()
+    ]
+    driver = FederatedClosedLoopDriver(network, specs, answer_delay=1)
+    report = driver.run(max_rounds=20_000)
+    assert report.all_done and report.drained
+    tracer.export_jsonl(TRACE_PATH)
+    return network, TraceAnalysis(tracer.spans)
 
 
 def test_federation_throughput():
@@ -126,18 +183,23 @@ def test_federation_throughput():
         "peer_latencies": peer_latencies,
     }
 
+    # Traced replay: causal-chain verification plus the measured phase
+    # decomposition, exported for repro-trace and the CI artifact.
+    traced_network, analysis = _traced_replay(environment, config)
+    chains = analysis.cross_peer_chains()
+    assert chains, "no remote firing's causal chain reconstructed across peers"
+    breakdown = analysis.phase_breakdown()
+    entry["trace_phase_breakdown"] = breakdown
+    entry["trace_wire_bytes_by_kind"] = analysis.wire_bytes_by_kind()
+    entry["trace_cross_peer_chains"] = len(chains)
+    entry["trace_spans"] = len(analysis.spans)
+
+    # The exported trace must be consumable by the analysis CLI.
+    from repro.obs.cli import main as trace_cli
+    assert trace_cli([TRACE_PATH]) == 0
+
     # Merge into the trajectory file next to the tracker measurement.
-    recorded = {}
-    if os.path.exists(RESULT_PATH):
-        try:
-            with open(RESULT_PATH) as handle:
-                recorded = json.load(handle)
-        except ValueError:
-            recorded = {}
-    recorded["federation"] = entry
-    with open(RESULT_PATH, "w") as handle:
-        json.dump(recorded, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    _merge_entry("federation", entry)
 
     print(
         "\nfederation bench ({} peers, {} scale): {} user ops -> {} committed "
@@ -150,6 +212,20 @@ def test_federation_throughput():
             report.rounds,
             entry["committed_per_second"],
             metrics["transport_sent"],
+        )
+    )
+    print(
+        "  traced replay: {} spans, {} cross-peer chains; phase seconds "
+        "queue={:.4f} chase={:.4f} validate={:.4f} wire={:.4f} park={:.4f} "
+        "transit={:.4f}".format(
+            entry["trace_spans"],
+            entry["trace_cross_peer_chains"],
+            breakdown["queue"],
+            breakdown["chase"],
+            breakdown["validate"],
+            breakdown["wire"],
+            breakdown["park"],
+            breakdown["transit"],
         )
     )
 
@@ -217,17 +293,7 @@ def test_federation_open_loop_throughput():
         "transport_wire_bytes_sent": metrics["transport_wire_bytes_sent"],
         "convergence_equivalent": convergence.equivalent,
     }
-    recorded = {}
-    if os.path.exists(RESULT_PATH):
-        try:
-            with open(RESULT_PATH) as handle:
-                recorded = json.load(handle)
-        except ValueError:
-            recorded = {}
-    recorded["federation_open_loop"] = entry
-    with open(RESULT_PATH, "w") as handle:
-        json.dump(recorded, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    _merge_entry("federation_open_loop", entry)
 
     print(
         "\nfederation open-loop bench ({} scale): {} ops in bursts -> "

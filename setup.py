@@ -45,6 +45,7 @@ setup(
         "console_scripts": [
             "repro-serve=repro.service.cli:main",
             "repro-experiment=repro.workload.experiment:main",
+            "repro-trace=repro.obs.cli:main",
         ]
     },
     classifiers=[

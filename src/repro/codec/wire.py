@@ -451,7 +451,36 @@ def payload_kind(payload: object) -> str:
 
 
 def encode_payload(payload: object) -> Dict[str, Any]:
-    """Encode any transport payload into its JSON-able wire body."""
+    """Encode any transport payload into its JSON-able wire body.
+
+    When the payload carries a trace context (tracing enabled at the sender)
+    an optional ``"tr"`` field is added — same :data:`WIRE_VERSION`, absent
+    whenever tracing is off, so golden bytes are unchanged and pre-tracing
+    decoders are never confronted with it unless tracing actually ran.
+    """
+    body = _encode_payload_body(payload)
+    trace = getattr(payload, "trace", None)
+    if trace is not None:
+        body["tr"] = {"si": trace.span_id, "ti": trace.trace_id}
+    return body
+
+
+def decode_payload(body: Dict[str, Any]) -> object:
+    """Decode a wire body; a ``"tr"`` field restores the trace context."""
+    payload = _decode_payload_body(body)
+    trace = body.get("tr")
+    if trace is not None and hasattr(payload, "trace"):
+        import dataclasses
+
+        from ..obs.trace import SpanContext
+
+        payload = dataclasses.replace(
+            payload, trace=SpanContext(trace_id=trace["ti"], span_id=trace["si"])
+        )
+    return payload
+
+
+def _encode_payload_body(payload: object) -> Dict[str, Any]:
     from ..federation import envelopes as env
     from ..federation.transport import Bundle
     from ..service.tickets import TicketStatus
@@ -522,7 +551,7 @@ def encode_payload(payload: object) -> Dict[str, Any]:
     raise CodecError("not a wire-encodable payload: {!r}".format(payload))
 
 
-def decode_payload(body: Dict[str, Any]) -> object:
+def _decode_payload_body(body: Dict[str, Any]) -> object:
     from ..federation import envelopes as env
     from ..federation.transport import Bundle
     from ..service.tickets import TicketStatus
@@ -636,7 +665,12 @@ def _canonicalize_nulls(node: object, renaming: Dict[str, str]) -> object:
                 renaming[name] = "_{}".format(len(renaming))
             return {"t": "null", "n": renaming[name]}
         return {
-            key: _canonicalize_nulls(node[key], renaming) for key in sorted(node)
+            key: _canonicalize_nulls(node[key], renaming)
+            for key in sorted(node)
+            # Trace contexts are observability metadata, not payload content:
+            # two runs of the same workload get different span ids, and
+            # equivalence must not depend on whether either run was traced.
+            if key != "tr"
         }
     if isinstance(node, list):
         return [_canonicalize_nulls(item, renaming) for item in node]

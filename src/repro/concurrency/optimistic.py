@@ -19,6 +19,7 @@ from ..core.oracle import FrontierOracle, RandomOracle
 from ..core.terms import NullFactory
 from ..core.tgd import Tgd
 from ..core.update import UserOperation
+from ..obs.trace import SpanContext, default_tracer
 from ..query.base import ReadQuery
 from ..storage.interface import DatabaseView
 from ..storage.memory import FrozenDatabase
@@ -52,8 +53,16 @@ class OptimisticScheduler:
         compact_committed: bool = True,
         group_commit: bool = True,
         proof_carrying_commit: bool = True,
+        tracer=None,
+        trace_peer: str = "",
     ):
         self._store = store
+        self._tracer = tracer if tracer is not None else default_tracer()
+        self._trace_peer = trace_peer
+        #: Priority → parent span context of the traced update running under
+        #: it (transferred to the restart priority on abort, dropped at
+        #: commit).  Empty whenever tracing is disabled.
+        self._trace_contexts: Dict[int, SpanContext] = {}
         self._mappings = list(mappings)
         from ..query.compiled import compile_mappings
 
@@ -120,10 +129,19 @@ class OptimisticScheduler:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, operation: UserOperation) -> int:
-        """Admit one update; returns its priority number."""
+    def submit(
+        self, operation: UserOperation, trace: Optional[SpanContext] = None
+    ) -> int:
+        """Admit one update; returns its priority number.
+
+        *trace* is the submitting ticket's root span context; chase-step,
+        validation and commit spans of this priority (and of every restart
+        priority it moves to after aborts) parent into it.
+        """
         priority = self._next_priority
         self._next_priority += 1
+        if trace is not None and self._tracer.enabled:
+            self._trace_contexts[priority] = trace
         execution = UpdateExecution(
             priority=priority,
             operation=operation,
@@ -244,16 +262,50 @@ class OptimisticScheduler:
         abortable = self._abortable()
         reader_view = self._store.view_for(reader)
 
-        def recorder(query: ReadQuery, answer: object) -> None:
-            dependencies = self._tracker.dependencies(
-                query,
-                reader,
-                self._store,
-                reader_view,
-                abortable,
-            )
-            self._read_log.record(reader, query, dependencies)
-            self.statistics.read_queries += 1
+        tracer = self._tracer
+        step_span = None
+        if tracer.enabled:
+            context = self._trace_contexts.get(reader)
+            if context is not None:
+                step_span = tracer.start_span(
+                    "chase-step",
+                    phase="chase",
+                    parent=context,
+                    peer=self._trace_peer,
+                    priority=reader,
+                )
+
+        if step_span is None:
+            # The untraced recorder: byte-for-byte the pre-tracing hot path.
+            def recorder(query: ReadQuery, answer: object) -> None:
+                dependencies = self._tracker.dependencies(
+                    query,
+                    reader,
+                    self._store,
+                    reader_view,
+                    abortable,
+                )
+                self._read_log.record(reader, query, dependencies)
+                self.statistics.read_queries += 1
+
+        else:
+            # Traced: also meter the violation/dependency-query slice of the
+            # step, reattributed chase → validate by the analysis layer.
+            clock = tracer.clock
+            tracker_box = [0.0]
+
+            def recorder(query: ReadQuery, answer: object) -> None:
+                before = clock()
+                dependencies = self._tracker.dependencies(
+                    query,
+                    reader,
+                    self._store,
+                    reader_view,
+                    abortable,
+                )
+                tracker_box[0] += clock() - before
+                self._read_log.record(reader, query, dependencies)
+                self.statistics.read_queries += 1
 
         result = execution.run_step(recorder)
         self.statistics.steps += 1
@@ -264,11 +316,33 @@ class OptimisticScheduler:
         if result.parked:
             self.statistics.frontier_parks += 1
         if result.applied:
-            self._process_conflicts(result)
+            if step_span is not None:
+                before = tracer.clock()
+                self._process_conflicts(result)
+                after = tracer.clock()
+                # Phase-less on purpose: its time is accounted through the
+                # parent step's ``tracker_seconds`` reattribution (a phased
+                # nested span would be counted twice).
+                tracer.record_span(
+                    "conflict-check",
+                    before,
+                    after,
+                    parent=step_span,
+                    peer=self._trace_peer,
+                    writes=len(result.applied),
+                )
+                # The check is nested inside the chase-step interval; fold
+                # its duration into the reattribution attr so the analysis
+                # layer moves it out of the chase phase (no double count).
+                tracker_box[0] += after - before
+            else:
+                self._process_conflicts(result)
             # The step's writes have now been checked against every logged
             # read; stamp the execution with the current conflict epoch (its
             # earlier writes were stamped the same way by earlier steps).
             execution.validated_conflict_epoch = self._conflict_epoch
+        if step_span is not None:
+            tracer.end_span(step_span, tracker_seconds=tracker_box[0])
         return result
 
     def _process_conflicts(self, result: StepResult) -> None:
@@ -308,6 +382,18 @@ class OptimisticScheduler:
         restart = execution.restart_as(restart_priority)
         self._executions[restart_priority] = restart
         self.statistics.updates_executed += 1
+        context = self._trace_contexts.pop(victim, None)
+        if context is not None:
+            # The restart keeps the ticket's identity, so it keeps the trace.
+            self._trace_contexts[restart_priority] = context
+            self._tracer.event(
+                "abort",
+                parent=context,
+                peer=self._trace_peer,
+                priority=victim,
+                restart_priority=restart_priority,
+                direct=direct,
+            )
         if self._promote_restarts and isinstance(self._tracker, HybridTracker):
             self._tracker.promote(restart_priority)
         for listener in self._restart_listeners:
@@ -357,7 +443,7 @@ class OptimisticScheduler:
                 # redundant read-log re-check entirely.
                 self.statistics.group_validation_skips += 1
                 self._commit_members(batch)
-            elif len(batch) > 1 and not self._validate_group(batch):
+            elif len(batch) > 1 and not self._timed_validate_group(batch):
                 self.statistics.group_commit_fallbacks += 1
                 for priority in batch:
                     self._commit_members([priority])
@@ -384,6 +470,30 @@ class OptimisticScheduler:
                 return False
         return True
 
+    def _timed_validate_group(self, batch: List[int]) -> bool:
+        """Group validation wrapped in a ``group-validate`` span when traced."""
+        tracer = self._tracer
+        if not tracer.enabled:
+            return self._validate_group(batch)
+        before = tracer.clock()
+        valid = self._validate_group(batch)
+        after = tracer.clock()
+        for priority in batch:
+            context = self._trace_contexts.get(priority)
+            if context is not None:
+                tracer.record_span(
+                    "group-validate",
+                    before,
+                    after,
+                    phase="validate",
+                    parent=context,
+                    peer=self._trace_peer,
+                    batch=len(batch),
+                    valid=valid,
+                )
+                break  # one span per batch, parented into its first traced member
+        return valid
+
     def _validate_group(self, batch: List[int]) -> bool:
         """Check the batch's union write set against its members' read logs.
 
@@ -408,6 +518,15 @@ class OptimisticScheduler:
             self._committed.add(priority)
             self._commit_watermark = priority
             self._newly_committed.append(priority)
+            context = self._trace_contexts.pop(priority, None)
+            if context is not None:
+                self._tracer.event(
+                    "commit",
+                    parent=context,
+                    peer=self._trace_peer,
+                    priority=priority,
+                    batch=len(members),
+                )
             if need_writes:
                 # The logged writes are about to be compacted away; hand the
                 # listeners a stable copy, evaluated while ``view_for(priority)``

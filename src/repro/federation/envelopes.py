@@ -11,14 +11,15 @@ back to the peer whose users caused it, and the answer travels forward again.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Tuple as PyTuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple as PyTuple, Union
 
 from ..core.frontier import FrontierOperation, FrontierRequest
 from ..core.terms import DataTerm, Variable
 from ..core.tgd import Tgd
 from ..core.tuples import Tuple
 from ..core.update import UserOperation
+from ..obs.trace import SpanContext
 from ..service.tickets import RemoteOrigin, TicketStatus
 
 #: Hashable form of an exported variable assignment.
@@ -36,6 +37,10 @@ class RemoteUpdate:
 
     operation: UserOperation
     origin: RemoteOrigin
+    #: Originating update's trace context (``None`` when tracing is off).
+    #: ``compare=False`` keeps equality/hashing — and with them golden
+    #: decode comparisons and coalescing dedup — independent of tracing.
+    trace: Optional[SpanContext] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -46,6 +51,10 @@ class ExchangeFiring:
     assignment_items: AssignmentItems
     head_rows: PyTuple[Tuple, ...]
     origin: RemoteOrigin
+    #: Originating update's trace context (``None`` when tracing is off).
+    #: ``compare=False`` keeps equality/hashing — and with them golden
+    #: decode comparisons and coalescing dedup — independent of tracing.
+    trace: Optional[SpanContext] = field(default=None, compare=False)
 
     def assignment(self) -> Dict[Variable, DataTerm]:
         return dict(self.assignment_items)
@@ -59,6 +68,10 @@ class ExchangeRetraction:
     assignment_items: AssignmentItems
     removed_row: Tuple
     origin: RemoteOrigin
+    #: Originating update's trace context (``None`` when tracing is off).
+    #: ``compare=False`` keeps equality/hashing — and with them golden
+    #: decode comparisons and coalescing dedup — independent of tracing.
+    trace: Optional[SpanContext] = field(default=None, compare=False)
 
     def assignment(self) -> Dict[Variable, DataTerm]:
         return dict(self.assignment_items)
@@ -73,6 +86,10 @@ class QuestionOpened:
     request: FrontierRequest
     origin: RemoteOrigin
     ticket_description: str
+    #: Originating update's trace context (``None`` when tracing is off).
+    #: ``compare=False`` keeps equality/hashing — and with them golden
+    #: decode comparisons and coalescing dedup — independent of tracing.
+    trace: Optional[SpanContext] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -82,6 +99,10 @@ class QuestionCancelled:
     executing_peer: str
     decision_id: int
     origin: RemoteOrigin
+    #: Originating update's trace context (``None`` when tracing is off).
+    #: ``compare=False`` keeps equality/hashing — and with them golden
+    #: decode comparisons and coalescing dedup — independent of tracing.
+    trace: Optional[SpanContext] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -92,6 +113,10 @@ class QuestionAnswer:
     decision_id: int
     choice: Union[FrontierOperation, int]
     answered_by: str
+    #: Originating update's trace context (``None`` when tracing is off).
+    #: ``compare=False`` keeps equality/hashing — and with them golden
+    #: decode comparisons and coalescing dedup — independent of tracing.
+    trace: Optional[SpanContext] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -100,6 +125,10 @@ class CommitNotice:
 
     origin: RemoteOrigin
     status: TicketStatus
+    #: Originating update's trace context (``None`` when tracing is off).
+    #: ``compare=False`` keeps equality/hashing — and with them golden
+    #: decode comparisons and coalescing dedup — independent of tracing.
+    trace: Optional[SpanContext] = field(default=None, compare=False)
 
 
 ExchangePayload = Union[

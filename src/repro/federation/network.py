@@ -29,7 +29,7 @@ open questions with a strategy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple as PyTuple, Union
 
 from ..core.frontier import FrontierOperation, FrontierRequest
@@ -38,6 +38,8 @@ from ..core.schema import DatabaseSchema
 from ..core.terms import NullFactory
 from ..core.tgd import Tgd
 from ..core.update import DeleteOperation, InsertOperation, UserOperation
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import SpanContext, default_tracer
 from ..service.admission import AdmissionConfig, AdmissionError
 from ..service.repository import RepositoryService
 from ..service.tickets import RemoteOrigin, TicketStatus, UpdateTicket
@@ -72,6 +74,9 @@ class FederatedTicket:
     #: originating peer only learns of the commit once the notice crosses the
     #: transport — partitions delay knowledge, as they should).
     local_ticket: Optional[UpdateTicket] = None
+    #: Root tracing span of a *routed* submission (local submissions root
+    #: their trace in the executing service's ticket instead).
+    trace_span: Optional[object] = field(default=None, repr=False)
 
     @property
     def is_remote(self) -> bool:
@@ -100,6 +105,8 @@ class FederatedQuestion:
     request: FrontierRequest
     origin: RemoteOrigin
     description: str
+    #: Trace context of the parked update (``None`` when tracing is off).
+    trace: Optional[SpanContext] = field(default=None, compare=False)
 
     @property
     def key(self) -> PyTuple[str, int]:
@@ -139,8 +146,10 @@ class FederatedNetwork:
         max_total_steps: int = 1_000_000,
         coalesce_envelopes: bool = True,
         group_commit: bool = True,
+        tracer=None,
     ):
         self.schema = schema
+        self._tracer = tracer if tracer is not None else default_tracer()
         owner_of: Dict[str, str] = {}
         for peer_name, relations in ownership.items():
             for relation in relations:
@@ -165,6 +174,10 @@ class FederatedNetwork:
         self.owner_of = owner_of
         self.rules = ExchangeRules(mappings, owner_of)
         self.transport = transport if transport is not None else Transport()
+        if tracer is not None:
+            # An explicitly traced network traces its transport too (a
+            # transport built separately defaults to the process tracer).
+            self.transport.tracer = tracer
         #: Construction parameters kept for peer restarts (see
         #: :meth:`restart_peer`): a reborn peer's service is rebuilt with the
         #: same tracker, admission policy and budgets as its predecessor.
@@ -200,6 +213,8 @@ class FederatedNetwork:
                 admission=peer_admission,
                 max_total_steps=max_total_steps,
                 group_commit=group_commit,
+                tracer=self._tracer,
+                trace_peer=peer_name,
                 # Peer-unique null prefixes: two peers' chases must never mint
                 # the same labeled null, or shipping a head row would silently
                 # identify two unrelated unknowns at the destination.
@@ -223,17 +238,73 @@ class FederatedNetwork:
         self._tickets: Dict[int, FederatedTicket] = {}
         self._unresolved: List[FederatedTicket] = []
         self._next_ticket_id = 1
-        #: Federation-level counters (see :meth:`metrics`).
-        self.updates_routed = 0
-        self.firings_delivered = 0
-        self.retractions_delivered = 0
-        self.questions_routed = 0
-        self.answers_routed = 0
-        self.answers_dropped = 0
-        self.cancellations = 0
+        #: Federation-level counters, registered into one registry whose
+        #: ``collect()`` is the whole :meth:`metrics` snapshot (transport and
+        #: per-peer service metrics fold in as producers; the key set and
+        #: order are bit-compatible with the pre-registry dict merging).
+        self.registry = MetricsRegistry()
+        self.registry.gauge("peers").set_function(lambda: len(self._peers))
+        self._updates_routed = self.registry.counter("updates_routed")
+        self._firings_delivered = self.registry.counter("firings_delivered")
+        self._retractions_delivered = self.registry.counter("retractions_delivered")
+        self._questions_routed = self.registry.counter("questions_routed")
+        self._answers_routed = self.registry.counter("answers_routed")
+        self._answers_dropped = self.registry.counter("answers_dropped")
+        self._cancellations = self.registry.counter("question_cancellations")
         #: Envelope deliveries re-queued because the destination's bounded
         #: admission queue was full (retried on later pumps).
-        self.deliveries_deferred = 0
+        self._deliveries_deferred = self.registry.counter("deliveries_deferred")
+        self.registry.gauge("firings_emitted").set_function(
+            lambda: sum(p.firings_emitted for p in self._peers.values())
+        )
+        self.registry.gauge("retractions_emitted").set_function(
+            lambda: sum(p.retractions_emitted for p in self._peers.values())
+        )
+        self.registry.gauge("envelopes_coalesced").set_function(
+            lambda: sum(p.envelopes_coalesced for p in self._peers.values())
+        )
+        self.registry.register_producer(lambda: self.transport.metrics())
+        self.registry.register_producer(self._peer_service_metrics)
+
+    # ------------------------------------------------------------------
+    # Counter compatibility properties (instruments live in the registry)
+    # ------------------------------------------------------------------
+    @property
+    def updates_routed(self) -> int:
+        return self._updates_routed.value
+
+    @property
+    def firings_delivered(self) -> int:
+        return self._firings_delivered.value
+
+    @property
+    def retractions_delivered(self) -> int:
+        return self._retractions_delivered.value
+
+    @property
+    def questions_routed(self) -> int:
+        return self._questions_routed.value
+
+    @property
+    def answers_routed(self) -> int:
+        return self._answers_routed.value
+
+    @property
+    def answers_dropped(self) -> int:
+        return self._answers_dropped.value
+
+    @property
+    def cancellations(self) -> int:
+        return self._cancellations.value
+
+    @property
+    def deliveries_deferred(self) -> int:
+        return self._deliveries_deferred.value
+
+    @property
+    def tracer(self):
+        """The tracer the whole federation records into."""
+        return self._tracer
 
     # ------------------------------------------------------------------
     # Topology
@@ -371,13 +442,29 @@ class FederatedNetwork:
                 self._unresolved.remove(ticket)
                 raise
         else:
-            self.updates_routed += 1
+            self._updates_routed.inc()
+            trace = None
+            if self._tracer.enabled:
+                # Routed submissions root their trace here at the origin (the
+                # executing service's ticket span becomes a child); the root
+                # closes when the commit notice makes it back.
+                ticket.trace_span = self._tracer.start_span(
+                    "update",
+                    peer=peer_name,
+                    kind="user",
+                    op_type=type(operation).__name__,
+                    op=operation.describe(),
+                    ticket=ticket.ticket_id,
+                    routed_to=target,
+                )
+                trace = ticket.trace_span.context
             self.transport.send(
                 peer_name,
                 target,
                 RemoteUpdate(
                     operation=operation,
                     origin=RemoteOrigin(peer_name, ticket.ticket_id),
+                    trace=trace,
                 ),
             )
         return ticket
@@ -412,6 +499,7 @@ class FederatedNetwork:
                     request=question.request,
                     origin=RemoteOrigin(peer.name, question.ticket.ticket_id),
                     description=question.ticket.describe(),
+                    trace=question.ticket.trace_context,
                 )
                 inbox[federated.key] = federated
                 report.questions_opened += 1
@@ -470,7 +558,10 @@ class FederatedNetwork:
                 )
             try:
                 ticket = peer.service.submit(
-                    peer.gateway.session_id, operation, origin=payload.origin
+                    peer.gateway.session_id,
+                    operation,
+                    origin=payload.origin,
+                    trace=payload.trace,
                 )
             except AdmissionError:
                 # The destination's bounded admission queue is full.  Nothing
@@ -478,14 +569,14 @@ class FederatedNetwork:
                 # it arrived bundled) and try again on a later pump (transport
                 # backpressure, not a crash).
                 self.transport.send(source, destination, payload)
-                self.deliveries_deferred += 1
+                self._deliveries_deferred.inc()
                 return
             if isinstance(payload, RemoteUpdate):
                 peer.expect_notice(ticket.ticket_id, payload.origin)
             elif isinstance(payload, ExchangeFiring):
-                self.firings_delivered += 1
+                self._firings_delivered.inc()
             else:
-                self.retractions_delivered += 1
+                self._retractions_delivered.inc()
         elif isinstance(payload, QuestionOpened):
             federated = FederatedQuestion(
                 executing_peer=payload.executing_peer,
@@ -493,15 +584,16 @@ class FederatedNetwork:
                 request=payload.request,
                 origin=payload.origin,
                 description=payload.ticket_description,
+                trace=payload.trace,
             )
             self._inboxes[destination][federated.key] = federated
-            self.questions_routed += 1
+            self._questions_routed.inc()
         elif isinstance(payload, QuestionCancelled):
             removed = self._inboxes[destination].pop(
                 (payload.executing_peer, payload.decision_id), None
             )
             if removed is not None:
-                self.cancellations += 1
+                self._cancellations.inc()
         elif isinstance(payload, QuestionAnswer):
             try:
                 peer.service.answer(
@@ -511,11 +603,15 @@ class FederatedNetwork:
             except OracleError:
                 # The asking update aborted (its question was cancelled) while
                 # the answer was in flight; the restart will ask afresh.
-                self.answers_dropped += 1
+                self._answers_dropped.inc()
         elif isinstance(payload, CommitNotice):
             ticket = self._tickets.get(payload.origin.ticket_id)
             if ticket is not None:
                 ticket.status = payload.status
+                if ticket.trace_span is not None:
+                    self._tracer.end_span(
+                        ticket.trace_span, status=payload.status.value
+                    )
         else:  # pragma: no cover - the payload union is closed
             raise FederationError("undeliverable payload {!r}".format(payload))
 
@@ -564,9 +660,9 @@ class FederatedNetwork:
                     peer.gateway.session_id, question.decision_id, choice
                 )
             except OracleError:
-                self.answers_dropped += 1
+                self._answers_dropped.inc()
         else:
-            self.answers_routed += 1
+            self._answers_routed.inc()
             self.transport.send(
                 peer_name,
                 question.executing_peer,
@@ -575,6 +671,7 @@ class FederatedNetwork:
                     decision_id=question.decision_id,
                     choice=choice,
                     answered_by=peer_name,
+                    trace=question.trace,
                 ),
             )
 
@@ -637,27 +734,10 @@ class FederatedNetwork:
         """Every federated ticket, in submission order."""
         return [self._tickets[ticket_id] for ticket_id in sorted(self._tickets)]
 
-    def metrics(self) -> Dict[str, object]:
-        """Aggregated federation, transport and per-peer service metrics."""
-        data: Dict[str, object] = {
-            "peers": len(self._peers),
-            "updates_routed": self.updates_routed,
-            "firings_delivered": self.firings_delivered,
-            "retractions_delivered": self.retractions_delivered,
-            "questions_routed": self.questions_routed,
-            "answers_routed": self.answers_routed,
-            "answers_dropped": self.answers_dropped,
-            "question_cancellations": self.cancellations,
-            "deliveries_deferred": self.deliveries_deferred,
-            "firings_emitted": sum(p.firings_emitted for p in self._peers.values()),
-            "retractions_emitted": sum(
-                p.retractions_emitted for p in self._peers.values()
-            ),
-            "envelopes_coalesced": sum(
-                p.envelopes_coalesced for p in self._peers.values()
-            ),
-        }
-        data.update(self.transport.metrics())
+    def _peer_service_metrics(self) -> Dict[str, object]:
+        """Per-peer service metrics producer (looks peers up live, so a
+        peer reborn by :meth:`restart_peer` reports its new service)."""
+        data: Dict[str, object] = {}
         for name, peer in self._peers.items():
             snapshot = peer.service.metrics_snapshot()
             for key in (
@@ -670,3 +750,7 @@ class FederatedNetwork:
             ):
                 data["peer_{}_{}".format(name, key)] = snapshot[key]
         return data
+
+    def metrics(self) -> Dict[str, object]:
+        """Aggregated federation, transport and per-peer service metrics."""
+        return self.registry.collect()

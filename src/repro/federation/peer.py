@@ -17,6 +17,7 @@ deliveries are submitted there) and through two hooks:
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Set, Tuple as PyTuple
 
 from ..core.terms import NullFactory
@@ -122,23 +123,28 @@ class Peer:
             origin = RemoteOrigin(
                 self.name, ticket.ticket_id if ticket is not None else 0
             )
+        context = ticket.trace_context if ticket is not None else None
         if writes and any(
             logged.write.relation in self._exchange_relations for logged in writes
         ):
             view = self.service.scheduler.store.view_for(priority)
-            staged.extend(
-                envelopes_for_commit(
-                    self._rules, self.name, writes, view, self._firing_factory, origin
-                )
+            produced = envelopes_for_commit(
+                self._rules, self.name, writes, view, self._firing_factory, origin
             )
+            if context is not None:
+                # Outgoing envelopes continue the committing update's trace,
+                # so the receiving peer's chase parents into it.
+                produced = [
+                    (destination, replace(payload, trace=context))
+                    for destination, payload in produced
+                ]
+            staged.extend(produced)
         if ticket is not None and ticket.ticket_id in self._notify:
             notify_origin = self._notify.pop(ticket.ticket_id)
-            staged.append(
-                (
-                    notify_origin.peer,
-                    CommitNotice(origin=notify_origin, status=TicketStatus.COMMITTED),
-                )
-            )
+            notice = CommitNotice(origin=notify_origin, status=TicketStatus.COMMITTED)
+            if context is not None:
+                notice = replace(notice, trace=context)
+            staged.append((notify_origin.peer, notice))
 
     def scan_failures(self) -> None:
         """Report routed updates that died without committing.
@@ -154,12 +160,10 @@ class Peer:
                 continue
             origin = self._notify.pop(ticket_id)
             self.notices_emitted += 1
-            self.outbox.append(
-                (
-                    origin.peer,
-                    CommitNotice(origin=origin, status=TicketStatus.FAILED),
-                )
-            )
+            notice = CommitNotice(origin=origin, status=TicketStatus.FAILED)
+            if ticket.trace_context is not None:
+                notice = replace(notice, trace=ticket.trace_context)
+            self.outbox.append((origin.peer, notice))
 
     # ------------------------------------------------------------------
     # Question routing
@@ -204,6 +208,7 @@ class Peer:
                             request=question.request,
                             origin=origin,
                             ticket_description=question.ticket.describe(),
+                            trace=question.ticket.trace_context,
                         ),
                     )
                 )

@@ -26,10 +26,11 @@ import itertools
 import os
 import random
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple as PyTuple
 
 from ..codec.wire import decode_envelope, encode_envelope, payload_kind
+from ..obs.trace import Span, SpanContext, default_tracer
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,9 @@ class Bundle:
     """
 
     payloads: PyTuple[object, ...]
+    #: Trace context of the first traced member (``None`` when tracing is
+    #: off); ``compare=False`` keeps bundle equality content-only.
+    trace: Optional[SpanContext] = field(default=None, compare=False)
 
     def __len__(self) -> int:
         return len(self.payloads)
@@ -98,6 +102,7 @@ class Transport:
         delay: int = 0,
         reorder_seed: Optional[int] = None,
         wire: Optional[bool] = None,
+        tracer=None,
     ):
         if delay < 0:
             raise ValueError("delay cannot be negative")
@@ -113,12 +118,20 @@ class Transport:
         #: Byte transport: encode every payload through the wire codec on
         #: send and decode it on delivery (the default; see the module doc).
         self.wire = wire
+        self.tracer = tracer if tracer is not None else default_tracer()
         #: Counters for the metrics snapshot.
         self.sent = 0
         self.delivered = 0
         self.bundles_sent = 0
         self.payloads_sent = 0
         self.wire_bytes_sent = 0
+        #: Wire bytes attributed per payload kind (empty on object transports).
+        self.wire_bytes_by_kind: Dict[str, int] = {}
+        #: Codec CPU seconds, metered only while tracing is enabled.
+        self.encode_seconds = 0.0
+        self.decode_seconds = 0.0
+        #: Envelope seq -> open ``wire`` span (ended at delivery).
+        self._wire_spans: Dict[int, Span] = {}
 
     # ------------------------------------------------------------------
     # Configuration
@@ -168,10 +181,20 @@ class Transport:
             raise ValueError("a peer does not message itself over the transport")
         kind = ""
         queued: object = payload
+        encode_seconds = 0.0
         if self.wire:
             kind = payload_kind(payload)
-            queued = encode_envelope(payload)
+            if self.tracer.enabled:
+                before = self.tracer.clock()
+                queued = encode_envelope(payload)
+                encode_seconds = self.tracer.clock() - before
+                self.encode_seconds += encode_seconds
+            else:
+                queued = encode_envelope(payload)
             self.wire_bytes_sent += len(queued)
+            self.wire_bytes_by_kind[kind] = (
+                self.wire_bytes_by_kind.get(kind, 0) + len(queued)
+            )
         envelope = Envelope(
             seq=next(self._seq),
             source=source,
@@ -184,6 +207,19 @@ class Transport:
         self._queues.setdefault((source, destination), deque()).append(envelope)
         self.sent += 1
         self.payloads_sent += len(payload) if isinstance(payload, Bundle) else 1
+        if self.tracer.enabled:
+            context = getattr(payload, "trace", None)
+            if context is not None:
+                self._wire_spans[envelope.seq] = self.tracer.start_span(
+                    "wire",
+                    phase="wire",
+                    parent=context,
+                    peer=source,
+                    kind=kind or type(payload).__name__,
+                    destination=destination,
+                    bytes=len(queued) if self.wire else 0,
+                    encode_seconds=encode_seconds,
+                )
         return envelope
 
     def send_bundle(
@@ -201,7 +237,16 @@ class Transport:
         if len(batch) == 1:
             return self.send(source, destination, batch[0])
         self.bundles_sent += 1
-        return self.send(source, destination, Bundle(tuple(batch)))
+        trace = None
+        if self.tracer.enabled:
+            # The bundle inherits the first traced member's context so the
+            # whole flush appears as one wire hop in that update's trace
+            # (every member still carries its own context for the receiver).
+            for payload in batch:
+                trace = getattr(payload, "trace", None)
+                if trace is not None:
+                    break
+        return self.send(source, destination, Bundle(tuple(batch), trace=trace))
 
     def pump(self) -> List[Envelope]:
         """Advance one tick and return the envelopes delivered this tick.
@@ -236,10 +281,28 @@ class Transport:
         if self.wire:
             # Decode at the delivery boundary: receivers get fresh objects
             # reconstructed from the bytes, never the sender's instances.
-            deliverable = [
-                replace(envelope, payload=decode_envelope(envelope.payload))
-                for envelope in deliverable
-            ]
+            if self.tracer.enabled:
+                decoded: List[Envelope] = []
+                for envelope in deliverable:
+                    before = self.tracer.clock()
+                    payload = decode_envelope(envelope.payload)
+                    decode_seconds = self.tracer.clock() - before
+                    self.decode_seconds += decode_seconds
+                    span = self._wire_spans.pop(envelope.seq, None)
+                    if span is not None:
+                        self.tracer.end_span(span, decode_seconds=decode_seconds)
+                    decoded.append(replace(envelope, payload=payload))
+                deliverable = decoded
+            else:
+                deliverable = [
+                    replace(envelope, payload=decode_envelope(envelope.payload))
+                    for envelope in deliverable
+                ]
+        elif self.tracer.enabled:
+            for envelope in deliverable:
+                span = self._wire_spans.pop(envelope.seq, None)
+                if span is not None:
+                    self.tracer.end_span(span)
         return deliverable
 
     # ------------------------------------------------------------------
@@ -265,7 +328,7 @@ class Transport:
 
     def metrics(self) -> Dict[str, int]:
         """Flat counters for the federation metrics snapshot."""
-        return {
+        data = {
             "transport_sent": self.sent,
             "transport_delivered": self.delivered,
             "transport_in_flight": self.in_flight,
@@ -275,3 +338,7 @@ class Transport:
             "transport_wire": int(self.wire),
             "transport_wire_bytes_sent": self.wire_bytes_sent,
         }
+        for kind in sorted(self.wire_bytes_by_kind):
+            key = "transport_wire_bytes_" + kind.replace("-", "_")
+            data[key] = self.wire_bytes_by_kind[kind]
+        return data

@@ -1,0 +1,49 @@
+"""Observability: causal tracing, the unified metrics registry, shared stats.
+
+This package is the lowest layer of the reproduction — it imports nothing
+from :mod:`repro` — so every other layer (codec, storage, concurrency,
+service, federation, workload) can instrument itself without cycles:
+
+* :mod:`repro.obs.stats` — the one ``mean`` / ``percentile`` implementation,
+  re-exported by :mod:`repro.service.metrics` and :mod:`repro.workload.metrics`;
+* :mod:`repro.obs.trace` — the causal tracer: cheap span objects covering the
+  full update lifecycle (submit → admit → chase step → validate →
+  group-commit/abort → park/resume) plus federation hops, with a
+  :class:`~repro.obs.trace.SpanContext` that rides envelopes across peers so
+  a firing absorbed remotely continues the originating update's trace;
+* :mod:`repro.obs.metrics` — labeled counters/gauges/histograms and the
+  :class:`~repro.obs.metrics.MetricsRegistry` every layer's counters register
+  into (replacing ad-hoc snapshot dict merging);
+* :mod:`repro.obs.analysis` — cross-peer causal-chain reconstruction, the
+  critical path of a commit, per-phase time breakdown and wire-byte
+  attribution over exported span sets;
+* :mod:`repro.obs.cli` — the ``repro-trace`` entry point over JSONL exports.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .stats import mean, percentile
+from .trace import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    SpanContext,
+    Tracer,
+    default_tracer,
+    load_spans,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "default_tracer",
+    "load_spans",
+    "mean",
+    "percentile",
+]

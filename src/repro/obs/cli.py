@@ -1,0 +1,77 @@
+"""``repro-trace``: reconstruct causal chains from exported JSONL spans.
+
+Usage::
+
+    repro-trace TRACE.jsonl [MORE.jsonl ...] [--trace TRACE_ID]
+
+Reads one or more JSONL exports (from ``repro-serve --trace-out`` or a
+benchmark run), rebuilds the cross-peer causal structure, and prints the
+per-phase time breakdown, per-envelope-kind wire-byte attribution, the
+longest cross-peer chain, and the critical path of the last commit.  With
+``--trace`` it prints the full span tree of one trace instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from .analysis import TraceAnalysis
+from .trace import Span, load_spans
+
+
+def _render_tree(analysis: TraceAnalysis, span: Span, depth: int = 0) -> List[str]:
+    lines = analysis.format_chain([span])
+    lines = ["  " * depth + lines[0]]
+    for child in sorted(
+        analysis.children.get(span.span_id, []), key=lambda child: child.start
+    ):
+        lines.extend(_render_tree(analysis, child, depth + 1))
+    return lines
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:  # pragma: no cover - e.g. piped into head
+        return 0
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Reconstruct cross-peer causal chains from JSONL span exports.",
+    )
+    parser.add_argument("paths", nargs="+", help="JSONL span export files")
+    parser.add_argument(
+        "--trace",
+        default=None,
+        help="print the full span tree of one trace id instead of the summary",
+    )
+    args = parser.parse_args(argv)
+
+    spans = load_spans(args.paths)
+    analysis = TraceAnalysis(spans)
+
+    if args.trace is not None:
+        members = analysis.traces.get(args.trace)
+        if not members:
+            print("trace {!r} not found ({} traces loaded)".format(args.trace, len(analysis.traces)))
+            return 1
+        root = analysis.root_of(args.trace)
+        if root is None:
+            # Orphaned trace fragment (export from one peer of a larger run).
+            for span in sorted(members, key=lambda span: span.start):
+                print(span.describe())
+            return 0
+        for line in _render_tree(analysis, root):
+            print(line)
+        return 0
+
+    for line in analysis.summary():
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

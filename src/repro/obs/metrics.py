@@ -1,0 +1,194 @@
+"""The unified metrics registry: counters, gauges, histograms, producers.
+
+Every layer of the reproduction used to keep its own counters and splice
+them together with ad-hoc dict merging (``ServiceMetrics.snapshot`` folding
+in store gauges and scheduler statistics, ``FederatedNetwork.metrics``
+prefixing per-peer snapshots by hand).  A :class:`MetricsRegistry` replaces
+the merging: instruments register once under a flat snake_case name and
+``collect()`` produces the flat dict every existing snapshot key expects —
+bit-compatible with the pre-registry output.
+
+Three instrument kinds:
+
+* :class:`Counter` — a monotonically increasing int (``inc``);
+* :class:`Gauge` — a point-in-time value, either set directly (``set``) or
+  computed live by a callable (``set_function``);
+* :class:`Histogram` — a bounded sliding window of observations exposing
+  nearest-rank percentiles and the mean via :mod:`repro.obs.stats`.
+
+Layers whose metrics are naturally a dict (transport, per-peer service
+snapshots) register a *producer* — a zero-argument callable returning a
+flat dict — optionally under a prefix; ``collect()`` folds producers in
+after the instruments, so an instrument and a producer must not share a
+name (the producer wins, matching the old "merge last" dict behaviour).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .stats import mean, percentile
+
+
+class Counter:
+    """A monotonically increasing integer instrument."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str, initial: int = 0):
+        self.name = name
+        self._value = initial
+
+    def inc(self, amount: int = 1) -> int:
+        self._value += amount
+        return self._value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def collect(self) -> Dict[str, float]:
+        return {self.name: self._value}
+
+
+class Gauge:
+    """A point-in-time value: set directly or computed by a callable."""
+
+    __slots__ = ("name", "_value", "_function")
+
+    def __init__(self, name: str, initial: float = 0.0):
+        self.name = name
+        self._value = initial
+        self._function: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self._function = None
+        self._value = value
+
+    def set_function(self, function: Callable[[], float]) -> None:
+        """Compute the gauge live at every ``collect()``."""
+        self._function = function
+
+    @property
+    def value(self) -> float:
+        if self._function is not None:
+            return self._function()
+        return self._value
+
+    def collect(self) -> Dict[str, float]:
+        return {self.name: self.value}
+
+
+class Histogram:
+    """A bounded sliding window of observations with percentile collection.
+
+    ``collect()`` emits ``{name}_p{P}_{unit}`` keys for each configured
+    percentile fraction (p50 → ``_p50_``), matching the wait/turnaround key
+    scheme ``ServiceMetrics`` always exposed.
+    """
+
+    __slots__ = ("name", "unit", "window", "percentiles", "_samples")
+
+    def __init__(
+        self,
+        name: str,
+        window: int = 4096,
+        unit: str = "seconds",
+        percentiles: Tuple[float, ...] = (0.5, 0.95),
+    ):
+        self.name = name
+        self.unit = unit
+        self.window = window
+        self.percentiles = percentiles
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        self._samples.append(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def percentile(self, fraction: float) -> float:
+        return percentile(self._samples, fraction)
+
+    def mean(self) -> float:
+        return mean(self._samples)
+
+    def collect(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for fraction in self.percentiles:
+            label = "p{}".format(int(round(fraction * 100)))
+            out["{}_{}_{}".format(self.name, label, self.unit)] = self.percentile(fraction)
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create instruments plus dict producers; collect to a flat dict."""
+
+    def __init__(self):
+        self._instruments: Dict[str, object] = {}
+        self._order: List[str] = []
+        self._producers: List[Tuple[str, Callable[[], Dict[str, float]]]] = []
+
+    # ------------------------------------------------------------------
+    # Instrument factories (get-or-create: re-registration returns the
+    # existing instrument, mismatched kinds are a programming error)
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, kind: type, factory: Callable[[], object]):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    "metric {!r} already registered as {}".format(
+                        name, type(existing).__name__
+                    )
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        self._order.append(name)
+        return instrument
+
+    def counter(self, name: str, initial: int = 0) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name, initial))
+
+    def gauge(self, name: str, initial: float = 0.0) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, initial))
+
+    def histogram(
+        self,
+        name: str,
+        window: int = 4096,
+        unit: str = "seconds",
+        percentiles: Tuple[float, ...] = (0.5, 0.95),
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, window, unit, percentiles)
+        )
+
+    # ------------------------------------------------------------------
+    # Producers
+    # ------------------------------------------------------------------
+    def register_producer(
+        self, producer: Callable[[], Dict[str, float]], prefix: str = ""
+    ) -> None:
+        """Fold *producer*'s dict into every ``collect()``, keys prefixed."""
+        self._producers.append((prefix, producer))
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def collect(self) -> Dict[str, float]:
+        """One flat dict: instruments in registration order, then producers."""
+        out: Dict[str, float] = {}
+        for name in self._order:
+            out.update(self._instruments[name].collect())
+        for prefix, producer in self._producers:
+            for key, value in producer().items():
+                out[prefix + key] = value
+        return out

@@ -1,0 +1,40 @@
+"""The shared descriptive statistics helpers.
+
+One implementation of ``mean`` and nearest-rank ``percentile`` for the whole
+tree; :mod:`repro.service.metrics` and :mod:`repro.workload.metrics`
+re-export them for compatibility.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Ceil nearest-rank percentile (0.0 for an empty sequence).
+
+    The p-th percentile of N ordered samples is the value at rank
+    ``ceil(p * N)`` (1-based), the textbook nearest-rank definition: the
+    smallest sample such that at least ``p * N`` samples are <= it.  An
+    earlier implementation used ``int(round(fraction * (N - 1)))``, whose
+    banker's rounding lands one rank high on small windows (the median of
+    four samples came out as the third) — pinned against in the unit tests.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if fraction <= 0:
+        return ordered[0]
+    if fraction >= 1:
+        return ordered[-1]
+    rank = max(1, min(len(ordered), math.ceil(fraction * len(ordered))))
+    return ordered[rank - 1]

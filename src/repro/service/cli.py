@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 from ..core.tuples import make_tuple
 from ..core.update import InsertOperation
 from ..fixtures.genealogy import genealogy_repository
+from ..obs.trace import Tracer
 from ..workload.closed_loop import ClientSpec, ClosedLoopDriver
 from .admission import AdmissionConfig
 from .repository import RepositoryService
@@ -55,6 +56,12 @@ def _parse_arguments(argv: Optional[Sequence[str]] = None) -> argparse.Namespace
         help="restore the service from --snapshot-path before serving "
         "(instead of starting from the fixture repository)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="record causal spans for the whole run and export them as JSONL "
+        "to this path (analyse with repro-trace)",
+    )
     return parser.parse_args(argv)
 
 
@@ -62,6 +69,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Command-line entry point."""
     arguments = _parse_arguments(argv)
     database, mappings = genealogy_repository()
+    # An explicit tracer (rather than REPRO_TRACE) so the export path is
+    # authoritative: --trace-out always yields a file, even when the
+    # environment leaves tracing off.
+    tracer = Tracer() if arguments.trace_out else None
     if arguments.restore:
         if not arguments.snapshot_path:
             raise SystemExit("--restore requires --snapshot-path")
@@ -70,6 +81,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             mappings,
             tracker=arguments.tracker,
             admission=AdmissionConfig(max_in_flight=arguments.max_in_flight),
+            tracer=tracer,
         )
         service = restored.service
         print(
@@ -83,6 +95,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             mappings,
             tracker=arguments.tracker,
             admission=AdmissionConfig(max_in_flight=arguments.max_in_flight),
+            tracer=tracer,
         )
     specs = [
         ClientSpec(
@@ -125,6 +138,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             "Checkpoint written to {} (watermark {}, {} pending)".format(
                 arguments.snapshot_path, body["watermark"], len(body["pending"])
+            )
+        )
+    if tracer is not None:
+        count = tracer.export_jsonl(arguments.trace_out)
+        print(
+            "Trace written to {} ({} spans; inspect with repro-trace)".format(
+                arguments.trace_out, count
             )
         )
     return 0

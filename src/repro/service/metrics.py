@@ -5,15 +5,22 @@ work; this module layers the serving view on top: committed updates per
 second, queue and frontier wait distributions, and per-session attribution.
 ``snapshot()`` merges both so one dictionary feeds dashboards, benchmarks and
 the CLI.
+
+Since the observability layer landed, :class:`ServiceMetrics` is backed by a
+:class:`~repro.obs.metrics.MetricsRegistry` — counters, wait histograms and
+derived gauges are registry instruments, and ``snapshot()`` is just
+``registry.collect()`` plus the scheduler/store producers.  Every key the
+pre-registry snapshot exposed is preserved bit-compatibly, and the counter
+attributes (``metrics.parks`` etc.) remain readable as plain ints.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Dict, Optional
 
 from ..concurrency.aborts import RunStatistics
+from ..obs.metrics import MetricsRegistry
+from ..obs.stats import mean, percentile  # noqa: F401  (re-exported for compatibility)
 
 #: Number of most-recent latency samples kept per distribution.  Bounding the
 #: windows keeps a long-running service's memory flat and each snapshot's
@@ -21,70 +28,91 @@ from ..concurrency.aborts import RunStatistics
 WAIT_SAMPLE_WINDOW = 4096
 
 
-def percentile(values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile (0.0 for an empty sequence)."""
-    ordered = sorted(values)
-    if not ordered:
-        return 0.0
-    if fraction <= 0:
-        return ordered[0]
-    if fraction >= 1:
-        return ordered[-1]
-    rank = max(0, min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))))
-    return ordered[rank]
-
-
-@dataclass
 class ServiceMetrics:
-    """Live aggregator of everything the service observes."""
+    """Live aggregator of everything the service observes.
 
-    started_at: float
-    submitted: int = 0
-    admitted: int = 0
-    committed: int = 0
-    failed: int = 0
-    parks: int = 0
-    resumes: int = 0
-    restarts: int = 0
-    #: Wall-clock frontier waits of recently resumed parks, in seconds.
-    frontier_waits: Deque[float] = field(
-        default_factory=lambda: deque(maxlen=WAIT_SAMPLE_WINDOW)
-    )
-    #: Submission-to-admission waits of recently admitted tickets, in seconds.
-    queue_waits: Deque[float] = field(
-        default_factory=lambda: deque(maxlen=WAIT_SAMPLE_WINDOW)
-    )
-    #: Submission-to-commit turnaround of recently committed tickets, in seconds.
-    turnarounds: Deque[float] = field(
-        default_factory=lambda: deque(maxlen=WAIT_SAMPLE_WINDOW)
-    )
+    A thin facade over a :class:`~repro.obs.metrics.MetricsRegistry`: the
+    seven lifecycle counters, three bounded wait histograms and the derived
+    gauges (elapsed, throughput, abort rate) are registry instruments
+    registered in snapshot-key order, so ``registry.collect()`` reproduces
+    the historical snapshot layout exactly.
+    """
+
+    def __init__(self, started_at: float, registry: Optional[MetricsRegistry] = None):
+        self.started_at = started_at
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._submitted = reg.counter("submitted")
+        self._admitted = reg.counter("admitted")
+        self._committed = reg.counter("committed")
+        self._failed = reg.counter("failed")
+        self._parks = reg.counter("parks")
+        self._resumes = reg.counter("resumes")
+        self._restarts = reg.counter("restarts")
+        self._elapsed = reg.gauge("elapsed_seconds")
+        self._throughput = reg.gauge("throughput_per_second")
+        self._abort_rate = reg.gauge("abort_rate")
+        self.frontier_waits = reg.histogram("frontier_wait", window=WAIT_SAMPLE_WINDOW)
+        self.queue_waits = reg.histogram("queue_wait", window=WAIT_SAMPLE_WINDOW)
+        self.turnarounds = reg.histogram("turnaround", window=WAIT_SAMPLE_WINDOW)
+
+    # ------------------------------------------------------------------
+    # Compatibility attributes (tests and callers read these as ints)
+    # ------------------------------------------------------------------
+    @property
+    def submitted(self) -> int:
+        return self._submitted.value
+
+    @property
+    def admitted(self) -> int:
+        return self._admitted.value
+
+    @property
+    def committed(self) -> int:
+        return self._committed.value
+
+    @property
+    def failed(self) -> int:
+        return self._failed.value
+
+    @property
+    def parks(self) -> int:
+        return self._parks.value
+
+    @property
+    def resumes(self) -> int:
+        return self._resumes.value
+
+    @property
+    def restarts(self) -> int:
+        return self._restarts.value
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def record_submit(self) -> None:
-        self.submitted += 1
+        self._submitted.inc()
 
     def record_admit(self, queue_wait: float) -> None:
-        self.admitted += 1
-        self.queue_waits.append(queue_wait)
+        self._admitted.inc()
+        self.queue_waits.observe(queue_wait)
 
     def record_park(self) -> None:
-        self.parks += 1
+        self._parks.inc()
 
     def record_resume(self, wait_seconds: float) -> None:
-        self.resumes += 1
-        self.frontier_waits.append(wait_seconds)
+        self._resumes.inc()
+        self.frontier_waits.observe(wait_seconds)
 
     def record_restart(self) -> None:
-        self.restarts += 1
+        self._restarts.inc()
 
     def record_commit(self, turnaround: float) -> None:
-        self.committed += 1
-        self.turnarounds.append(turnaround)
+        self._committed.inc()
+        self.turnarounds.observe(turnaround)
 
     def record_failure(self) -> None:
-        self.failed += 1
+        self._failed.inc()
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -103,11 +131,11 @@ class ServiceMetrics:
 
     def frontier_wait_p50(self) -> float:
         """Median frontier wait, seconds (0.0 when nothing parked yet)."""
-        return percentile(self.frontier_waits, 0.5)
+        return self.frontier_waits.percentile(0.5)
 
     def frontier_wait_p95(self) -> float:
         """95th-percentile frontier wait, seconds."""
-        return percentile(self.frontier_waits, 0.95)
+        return self.frontier_waits.percentile(0.95)
 
     def snapshot(
         self, statistics: RunStatistics, now: float, store: Optional[object] = None
@@ -119,31 +147,29 @@ class ServiceMetrics:
         and version count bound the per-step work of rollback, conflict
         checking and compaction, so operators watching a long-running service
         want them on the same dashboard as throughput and abort rate.
+
+        The registry may already hold store/scheduler producers (registered
+        by :class:`~repro.service.repository.RepositoryService`); the guards
+        below keep the direct arguments from double-producing those keys.
         """
-        data = {
-            "submitted": self.submitted,
-            "admitted": self.admitted,
-            "committed": self.committed,
-            "failed": self.failed,
-            "parks": self.parks,
-            "resumes": self.resumes,
-            "restarts": self.restarts,
-            "elapsed_seconds": now - self.started_at,
-            "throughput_per_second": self.throughput(now),
-            "abort_rate": self.abort_rate(statistics),
-            "frontier_wait_p50_seconds": self.frontier_wait_p50(),
-            "frontier_wait_p95_seconds": self.frontier_wait_p95(),
-            "queue_wait_p50_seconds": percentile(self.queue_waits, 0.5),
-            "queue_wait_p95_seconds": percentile(self.queue_waits, 0.95),
-            "turnaround_p50_seconds": percentile(self.turnarounds, 0.5),
-            "turnaround_p95_seconds": percentile(self.turnarounds, 0.95),
-        }
-        if store is not None:
-            data["store_log_entries"] = store.log_size()
-            data["store_versions"] = store.version_count()
-            data["store_tuples"] = store.tuple_count()
-            data["store_index_entries"] = store.index_entry_count()
-            data["store_compactions"] = store.compactions
-        for key, value in statistics.as_dict().items():
-            data["scheduler_" + key] = value
+        self._elapsed.set(now - self.started_at)
+        self._throughput.set(self.throughput(now))
+        self._abort_rate.set(self.abort_rate(statistics))
+        data = self.registry.collect()
+        if store is not None and "store_log_entries" not in data:
+            data.update(store_metrics(store))
+        if "scheduler_algorithm" not in data:
+            for key, value in statistics.as_dict().items():
+                data["scheduler_" + key] = value
         return data
+
+
+def store_metrics(store: object) -> Dict[str, float]:
+    """The versioned store's size gauges, snapshot-key named."""
+    return {
+        "store_log_entries": store.log_size(),
+        "store_versions": store.version_count(),
+        "store_tuples": store.tuple_count(),
+        "store_index_entries": store.index_entry_count(),
+        "store_compactions": store.compactions,
+    }

@@ -36,12 +36,13 @@ from ..core.terms import NullFactory
 from ..core.tgd import Tgd
 from ..core.tuples import Tuple
 from ..core.update import UpdateStatus, UserOperation
+from ..obs.trace import SpanContext, default_tracer
 from ..storage.interface import DatabaseView
 from ..storage.memory import FrozenDatabase
 from ..storage.versioned import VersionedDatabase
 from .admission import AdmissionConfig, AdmissionQueue
 from .inbox import FrontierInbox, InboxQuestion
-from .metrics import ServiceMetrics
+from .metrics import ServiceMetrics, store_metrics
 from .session import ClientSession, SessionError
 from .tickets import RemoteOrigin, TicketStatus, UpdateTicket
 
@@ -92,10 +93,14 @@ class RepositoryService:
         group_commit: bool = True,
         durable_dir: Optional[str] = None,
         first_decision_id: int = 1,
+        tracer=None,
+        trace_peer: str = "",
     ):
         if isinstance(tracker, str):
             tracker = make_tracker(tracker)
         self._clock = clock
+        self._tracer = tracer if tracer is not None else default_tracer()
+        self._trace_peer = trace_peer
         store = VersionedDatabase(initial.schema)
         store.load_initial(initial)
         if durable_dir is not None:
@@ -119,11 +124,24 @@ class RepositoryService:
             max_total_steps=max_total_steps,
             prune_committed=True,
             group_commit=group_commit,
+            tracer=self._tracer,
+            trace_peer=trace_peer,
         )
         self._scheduler.add_restart_listener(self._on_restart)
         self._queue = AdmissionQueue(admission)
         self._inbox = FrontierInbox(self._oracle)
         self.metrics = ServiceMetrics(started_at=self._clock())
+        # The store and scheduler publish into the service registry as
+        # producers, so one ``collect()`` yields the whole historical
+        # snapshot (``snapshot()`` skips its direct arguments when these
+        # keys are already produced).
+        self.metrics.registry.register_producer(
+            lambda: store_metrics(self._scheduler.store)
+        )
+        self.metrics.registry.register_producer(
+            lambda: self._scheduler.refresh_statistics().as_dict(),
+            prefix="scheduler_",
+        )
         self._sessions: Dict[int, ClientSession] = {}
         self._tickets: Dict[int, UpdateTicket] = {}
         self._by_priority: Dict[int, UpdateTicket] = {}
@@ -173,12 +191,15 @@ class RepositoryService:
         session_id: int,
         operation: UserOperation,
         origin: Optional[RemoteOrigin] = None,
+        trace: Optional[SpanContext] = None,
     ) -> UpdateTicket:
         """Accept an update from a client; it waits for admission in FIFO order.
 
         *origin* marks updates forwarded by the federation layer; their
         frontier questions are routed back to the originating peer instead of
-        this repository's own inbox clients.
+        this repository's own inbox clients.  *trace* is the originating
+        update's span context when this submission continues a remote trace
+        (carried over the wire on the exchange envelope).
         """
         session = self.session(session_id)
         ticket = UpdateTicket(
@@ -193,6 +214,19 @@ class RepositoryService:
         self._tickets[ticket.ticket_id] = ticket
         session.tickets.append(ticket)
         self.metrics.record_submit()
+        if self._tracer.enabled:
+            ticket.trace_span = self._tracer.start_span(
+                "update",
+                parent=trace,
+                peer=self._trace_peer,
+                kind="remote" if origin is not None else "user",
+                op_type=type(operation).__name__,
+                op=operation.describe(),
+                ticket=ticket.ticket_id,
+            )
+            ticket.wait_span = self._tracer.start_span(
+                "queue", phase="queue", parent=ticket.trace_span, peer=self._trace_peer
+            )
         return ticket
 
     def ticket(self, ticket_id: int) -> UpdateTicket:
@@ -207,7 +241,10 @@ class RepositoryService:
 
     def _admit(self, ticket: UpdateTicket) -> None:
         now = self._clock()
-        priority = self._scheduler.submit(ticket.operation)
+        if ticket.wait_span is not None:
+            self._tracer.end_span(ticket.wait_span)
+            ticket.wait_span = None
+        priority = self._scheduler.submit(ticket.operation, trace=ticket.trace_context)
         ticket.priority = priority
         ticket.status = TicketStatus.RUNNING
         ticket.admitted_at = now
@@ -263,6 +300,11 @@ class RepositoryService:
             ticket.status = TicketStatus.FAILED
             self._in_flight.discard(ticket.ticket_id)
             self.metrics.record_failure()
+            if ticket.wait_span is not None:
+                self._tracer.end_span(ticket.wait_span)
+                ticket.wait_span = None
+            if ticket.trace_span is not None:
+                self._tracer.end_span(ticket.trace_span, status="failed")
 
     def run_until_blocked(self, max_pumps: int = 10_000) -> List[PumpReport]:
         """Pump until the service needs outside input (answers or submissions).
@@ -293,6 +335,8 @@ class RepositoryService:
             ticket.committed_at = now
             self._in_flight.discard(ticket.ticket_id)
             self.metrics.record_commit(now - ticket.submitted_at)
+            if ticket.trace_span is not None:
+                self._tracer.end_span(ticket.trace_span, status="committed")
             report.committed.append(ticket)
         for execution in self._scheduler.parked_executions():
             ticket = self._by_priority.get(execution.priority)
@@ -306,6 +350,14 @@ class RepositoryService:
             ticket.parked_at = now
             ticket.parks += 1
             self.metrics.record_park()
+            if ticket.trace_span is not None and self._tracer.enabled:
+                ticket.wait_span = self._tracer.start_span(
+                    "park",
+                    phase="park",
+                    parent=ticket.trace_span,
+                    peer=self._trace_peer,
+                    decision=decision.decision_id,
+                )
             report.parked.append(self._inbox.register(decision, ticket, now))
 
     def _on_restart(self, old_priority: int, new_priority: int) -> None:
@@ -319,6 +371,9 @@ class RepositoryService:
             self._inbox.cancel(ticket.decision_id)
             ticket.decision_id = None
             ticket.parked_at = None
+        if ticket.wait_span is not None:
+            self._tracer.end_span(ticket.wait_span, aborted=True)
+            ticket.wait_span = None
         ticket.priority = new_priority
         ticket.status = TicketStatus.RUNNING
         ticket.attempts += 1
@@ -354,6 +409,9 @@ class RepositoryService:
             wait = now - ticket.parked_at
             ticket.frontier_wait_seconds += wait
             self.metrics.record_resume(wait)
+        if ticket.wait_span is not None:
+            self._tracer.end_span(ticket.wait_span)
+            ticket.wait_span = None
         ticket.status = TicketStatus.RUNNING
         ticket.decision_id = None
         ticket.parked_at = None
@@ -506,6 +564,11 @@ class RepositoryService:
     def scheduler(self) -> OptimisticScheduler:
         """The underlying optimistic scheduler (tests and benchmarks poke it)."""
         return self._scheduler
+
+    @property
+    def tracer(self):
+        """The tracer this service records into (the noop when disabled)."""
+        return self._tracer
 
     @property
     def queue_depth(self) -> int:

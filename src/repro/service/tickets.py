@@ -74,6 +74,19 @@ class UpdateTicket:
     parked_at: Optional[float] = None
     #: Total time spent parked, accumulated over every park/resume cycle.
     frontier_wait_seconds: float = 0.0
+    #: Root tracing span for this ticket's lifecycle (``None`` when tracing
+    #: is off); an :class:`~repro.obs.trace.Span`, typed loosely so the
+    #: service layer stays importable without the tracer.
+    trace_span: Optional[object] = field(default=None, repr=False)
+    #: The currently open queue/park wait span, if any.
+    wait_span: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def trace_context(self):
+        """The ticket's portable trace context (``None`` when untraced)."""
+        if self.trace_span is None:
+            return None
+        return self.trace_span.context
 
     @property
     def is_done(self) -> bool:

@@ -12,14 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple as PyTuple
 
 from ..concurrency.aborts import RunStatistics
-
-
-def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean (0.0 for an empty sequence)."""
-    values = list(values)
-    if not values:
-        return 0.0
-    return sum(values) / len(values)
+from ..obs.stats import mean  # noqa: F401  (re-exported: the one shared implementation)
 
 
 @dataclass

@@ -421,3 +421,75 @@ def test_unencodable_payload_is_rejected():
         encode_envelope(Mystery())
     with pytest.raises(CodecError):
         payload_kind(Mystery())
+
+
+# ----------------------------------------------------------------------
+# Optional trace context (observability layer)
+# ----------------------------------------------------------------------
+def test_traced_payloads_round_trip():
+    """``trace`` rides the wire as an optional ``tr`` field on every kind.
+
+    Equality intentionally ignores the trace (``compare=False`` keeps golden
+    comparisons and coalescing dedup independent of tracing), so the context
+    itself is asserted explicitly.
+    """
+    import dataclasses
+
+    from repro.obs.trace import SpanContext
+
+    context = SpanContext(trace_id="t7", span_id="s42")
+    for seed in range(4):
+        gen = Gen(seed)
+        for _ in range(25):
+            payload = gen.payload()
+            traced = dataclasses.replace(payload, trace=context)
+            data = encode_envelope(traced)
+            assert b'"tr"' in data
+            decoded = decode_envelope(data)
+            assert decoded == payload  # equality ignores the trace...
+            assert decoded.trace == context  # ...but the context survives
+            assert encode_envelope(decoded) == data
+
+
+def test_traced_bundle_members_keep_their_contexts():
+    import dataclasses
+
+    from repro.obs.trace import SpanContext
+
+    gen = Gen(3)
+    members = []
+    for index in range(3):
+        context = SpanContext(trace_id="t{}".format(index), span_id="s{}".format(index))
+        members.append(dataclasses.replace(gen.payload(), trace=context))
+    bundle = Bundle(payloads=tuple(members), trace=members[0].trace)
+    decoded = decode_envelope(encode_envelope(bundle))
+    assert decoded.trace == bundle.trace
+    for original, restored in zip(members, decoded.payloads):
+        assert restored == original
+        assert restored.trace == original.trace
+
+
+def test_untraced_bytes_are_byte_identical_to_pre_trace_format():
+    """With tracing off the wire format is unchanged: no ``tr`` key at all."""
+    for seed in range(4):
+        gen = Gen(seed)
+        for _ in range(25):
+            payload = gen.payload()
+            assert payload.trace is None
+            data = encode_envelope(payload)
+            assert b'"tr"' not in data
+
+
+def test_trace_is_ignored_by_equality_and_equivalence():
+    import dataclasses
+
+    from repro.obs.trace import SpanContext
+
+    gen = Gen(5)
+    payload = gen.payload()
+    traced = dataclasses.replace(
+        payload, trace=SpanContext(trace_id="t1", span_id="s1")
+    )
+    assert traced == payload
+    assert hash(traced) == hash(payload)
+    assert payloads_equivalent(traced, payload)

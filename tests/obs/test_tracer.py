@@ -1,0 +1,155 @@
+"""Tracer unit tests: span identity, parenting, export/load, env gating."""
+
+from __future__ import annotations
+
+import json
+
+import repro.obs.trace as trace_module
+from repro.obs.trace import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    SpanContext,
+    Tracer,
+    default_tracer,
+    load_spans,
+)
+
+
+def _ticking_clock():
+    state = {"now": 0.0}
+
+    def clock():
+        state["now"] += 1.0
+        return state["now"]
+
+    return clock
+
+
+def test_deterministic_ids():
+    tracer = Tracer(clock=_ticking_clock())
+    a = tracer.start_span("update")
+    b = tracer.start_span("queue", parent=a)
+    c = tracer.start_span("update")
+    assert (a.trace_id, a.span_id) == ("t1", "s1")
+    assert (b.trace_id, b.span_id) == ("t1", "s2")
+    assert b.parent_id == "s1"
+    assert (c.trace_id, c.span_id) == ("t2", "s3")
+
+
+def test_parent_accepts_span_or_context():
+    tracer = Tracer(clock=_ticking_clock())
+    root = tracer.start_span("update")
+    via_span = tracer.start_span("child", parent=root)
+    via_context = tracer.start_span("child", parent=root.context)
+    assert via_span.trace_id == via_context.trace_id == root.trace_id
+    assert via_span.parent_id == via_context.parent_id == root.span_id
+
+
+def test_end_span_is_idempotent_and_merges_attrs():
+    tracer = Tracer(clock=_ticking_clock())
+    span = tracer.start_span("update")
+    tracer.end_span(span, status="committed")
+    first_end = span.end
+    tracer.end_span(span, extra=1)
+    assert span.end == first_end
+    assert span.attrs == {"status": "committed", "extra": 1}
+
+
+def test_event_is_instant():
+    tracer = Tracer(clock=_ticking_clock())
+    span = tracer.event("commit", priority=3)
+    assert span.start == span.end
+    assert span.duration == 0.0
+    assert span.attrs == {"priority": 3}
+
+
+def test_record_span_keeps_caller_interval():
+    tracer = Tracer(clock=_ticking_clock())
+    span = tracer.record_span("wire", start=10.0, end=12.5, phase="wire", bytes=42)
+    assert span.start == 10.0
+    assert span.end == 12.5
+    assert span.duration == 2.5
+    assert span.phase == "wire"
+
+
+def test_export_load_round_trip(tmp_path):
+    tracer = Tracer(clock=_ticking_clock())
+    root = tracer.start_span("update", peer="p0", kind="user")
+    child = tracer.start_span("chase-step", phase="chase", parent=root, peer="p0")
+    tracer.end_span(child, tracker_seconds=0.25)
+    tracer.end_span(root, status="committed")
+    path = tmp_path / "trace.jsonl"
+    assert tracer.export_jsonl(str(path)) == 2
+    loaded = load_spans(str(path))
+    assert len(loaded) == 2
+    for original, restored in zip(tracer.spans, loaded):
+        assert restored.to_record() == original.to_record()
+    # Every line is valid standalone JSON with the compact keys.
+    lines = path.read_text().strip().splitlines()
+    record = json.loads(lines[1])
+    assert record["tid"] == root.trace_id
+    assert record["parent"] == root.span_id
+    assert record["phase"] == "chase"
+
+
+def test_load_spans_accepts_multiple_paths(tmp_path):
+    first = Tracer(clock=_ticking_clock())
+    first.event("commit")
+    second = Tracer(clock=_ticking_clock())
+    second.event("abort")
+    path_a = tmp_path / "a.jsonl"
+    path_b = tmp_path / "b.jsonl"
+    first.export_jsonl(str(path_a))
+    second.export_jsonl(str(path_b))
+    names = [span.name for span in load_spans([str(path_a), str(path_b)])]
+    assert names == ["commit", "abort"]
+
+
+def test_noop_tracer_records_nothing(tmp_path):
+    tracer = NoopTracer()
+    assert tracer.enabled is False
+    assert tracer.start_span("update") is None
+    assert tracer.end_span(None) is None
+    assert tracer.event("commit") is None
+    assert tracer.record_span("wire", 0.0, 1.0) is None
+    path = tmp_path / "empty.jsonl"
+    assert tracer.export_jsonl(str(path)) == 0
+    assert path.read_text() == ""
+
+
+def test_default_tracer_env_gating(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    assert default_tracer() is NOOP_TRACER
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    monkeypatch.setattr(trace_module, "_shared_tracer", None)
+    live = default_tracer()
+    assert isinstance(live, Tracer)
+    # Shared: every layer built while tracing is on records into one list.
+    assert default_tracer() is live
+    monkeypatch.setenv("REPRO_TRACE", "0")
+    assert default_tracer() is NOOP_TRACER
+
+
+def test_span_context_is_hashable_value_type():
+    assert SpanContext("t1", "s1") == SpanContext("t1", "s1")
+    assert len({SpanContext("t1", "s1"), SpanContext("t1", "s1")}) == 1
+
+
+def test_clear_keeps_id_counters_running():
+    tracer = Tracer(clock=_ticking_clock())
+    tracer.start_span("update")
+    tracer.clear()
+    assert tracer.spans == []
+    span = tracer.start_span("update")
+    assert span.span_id == "s2"
+    assert span.trace_id == "t2"
+
+
+def test_from_record_defaults():
+    span = Span.from_record({"tid": "t1", "sid": "s1", "name": "update", "start": 0.0})
+    assert span.parent_id is None
+    assert span.phase == ""
+    assert span.peer == ""
+    assert span.end is None
+    assert span.attrs == {}
