@@ -31,6 +31,14 @@ TRACKED = (
         "federation_open_loop.committed_per_second",
         ("federation_open_loop", "committed_per_second"),
     ),
+    (
+        "federation_sockets.committed_per_second",
+        ("federation_sockets", "committed_per_second"),
+    ),
+    (
+        "federation_sockets.payloads_per_frame",
+        ("federation_sockets", "payloads_per_frame"),
+    ),
 )
 
 

@@ -24,6 +24,17 @@ through it — the codec is the single place where "what do these objects look
 like as bytes" is decided.
 """
 
+from .framing import (
+    FRAME_CONTROL,
+    FRAME_ENVELOPE,
+    FRAME_MAGIC,
+    HEADER_SIZE,
+    MAX_FRAME_PAYLOAD,
+    Frame,
+    FrameDecoder,
+    FramingError,
+    encode_frame,
+)
 from .rows import decode_row, decode_term, encode_row, encode_term
 from .wire import (
     CodecError,
@@ -46,6 +57,14 @@ from .wire import (
 
 __all__ = [
     "CodecError",
+    "FRAME_CONTROL",
+    "FRAME_ENVELOPE",
+    "FRAME_MAGIC",
+    "Frame",
+    "FrameDecoder",
+    "FramingError",
+    "HEADER_SIZE",
+    "MAX_FRAME_PAYLOAD",
     "WIRE_VERSION",
     "decode_envelope",
     "decode_payload",
@@ -56,6 +75,7 @@ __all__ = [
     "decode_user_operation",
     "decode_versioned_write",
     "encode_envelope",
+    "encode_frame",
     "encode_payload",
     "encode_row",
     "encode_schema",

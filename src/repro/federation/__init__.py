@@ -50,10 +50,24 @@ from .network import (
 )
 from .operations import RemoteFiringOperation, RemoteRetractionOperation
 from .peer import Peer
+from .process_network import (
+    ProcessFederation,
+    ProcessFederationError,
+    ProcessTicket,
+)
+from .socket_transport import (
+    ChannelClosed,
+    FrameChannel,
+    FrameListener,
+    OutgoingLink,
+    SocketAddress,
+    SocketTransportError,
+)
 from .transport import Bundle, Envelope, Transport
 
 __all__ = [
     "Bundle",
+    "ChannelClosed",
     "CommitNotice",
     "ConvergenceReport",
     "CrossMapping",
@@ -66,7 +80,13 @@ __all__ = [
     "FederatedTicket",
     "FederationError",
     "FederationPumpReport",
+    "FrameChannel",
+    "FrameListener",
+    "OutgoingLink",
     "Peer",
+    "ProcessFederation",
+    "ProcessFederationError",
+    "ProcessTicket",
     "QuestionAnswer",
     "QuestionCancelled",
     "QuestionOpened",
@@ -74,6 +94,8 @@ __all__ = [
     "RemoteFiringOperation",
     "RemoteRetractionOperation",
     "RemoteUpdate",
+    "SocketAddress",
+    "SocketTransportError",
     "Transport",
     "check_convergence",
     "coalesce_envelopes",

@@ -236,7 +236,7 @@ class Peer:
     # ------------------------------------------------------------------
     # Checkpoint (durability across peer restarts)
     # ------------------------------------------------------------------
-    def checkpoint(self, path: str) -> Dict:
+    def checkpoint(self, path: str, extra: Optional[Dict] = None) -> Dict:
         """Persist this peer's service plus its exchange bookkeeping.
 
         On top of the service checkpoint (committed store, watermark, pending
@@ -250,16 +250,21 @@ class Peer:
         restart.  The outbox is always empty at checkpoint time in a pumped
         federation (the network flushes it every round); anything in flight
         on the transport survives the restart on the transport itself.
+
+        *extra* lets the caller piggyback its own restart bookkeeping (the
+        socket harness's peer host stores its federated-ticket table there);
+        the peer's own keys win on collision.
         """
-        extra = {
+        body = dict(extra or {})
+        body.update({
             "peer": self.name,
             "firing_factory": list(self._firing_factory.state()),
             "notify": [
                 [ticket_id, {"peer": origin.peer, "ticket": origin.ticket_id}]
                 for ticket_id, origin in sorted(self._notify.items())
             ],
-        }
-        return self.service.checkpoint(path, extra=extra)
+        })
+        return self.service.checkpoint(path, extra=body)
 
     # ------------------------------------------------------------------
     # Introspection

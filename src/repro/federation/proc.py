@@ -1,0 +1,985 @@
+"""The peer process: one federation peer behind a socket, in its own OS process.
+
+This is the other half of the multi-process federation (the coordinator side
+lives in :mod:`repro.federation.process_network`).  A :class:`PeerHost` is
+what runs *inside* each spawned process: it owns a full
+:class:`~repro.federation.peer.Peer` (service, store, scheduler, admission,
+inbox) built from a codec-JSON config file, listens on its socket address,
+and mirrors — deliberately, line for line — the delivery semantics of
+:meth:`repro.federation.network.FederatedNetwork._deliver_payload`, so that a
+drained socket federation is the *same* exchange protocol as the in-process
+one and the differential oracle applies.
+
+Two kinds of traffic cross the host's sockets, both as
+:mod:`repro.codec.framing` frames:
+
+* **envelope frames** between peers — the PR 5 wire codec *is* the protocol:
+  one frame wraps one ``encode_envelope`` document, and a per-destination
+  flush travels as a single frame carrying one
+  :class:`~repro.federation.transport.Bundle` (many payloads, one
+  round-trip);
+* **control frames** between the coordinator and each peer — submissions,
+  question answers, status polls, partition holds, checkpoint/halt and exit
+  — with events (ticket terminals, question opened/vanished) pushed back on
+  the same connection.
+
+The host is single-threaded and reactive: a ``selectors`` loop blocks on the
+sockets, and every wakeup runs deliveries, service pumps, question scans and
+outbox flushes to a fixpoint before sleeping again.  When the coordinator's
+connection closes — including because the coordinating process was killed —
+the host exits, which is what keeps test teardown free of orphan processes.
+
+The module doubles as the ``repro-peer`` console entry point::
+
+    repro-peer --config /path/to/peer-config.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import selectors
+import sys
+import traceback
+from random import Random
+from typing import Dict, List, Optional, Tuple
+
+from ..codec.framing import FRAME_CONTROL, FRAME_ENVELOPE, encode_frame
+from ..codec.wire import (
+    WIRE_VERSION,
+    CodecError,
+    _decode_choice,
+    decode_envelope,
+    decode_payload,
+    decode_schema,
+    decode_tgd,
+    decode_tuple,
+    decode_user_operation,
+    dumps,
+    encode_envelope,
+    encode_frontier_request,
+    encode_payload,
+    encode_schema,
+    encode_tgd,
+    encode_tuple,
+    encode_user_operation,
+    loads,
+    payload_kind,
+)
+from ..core.oracle import OracleError
+from ..core.terms import NullFactory
+from ..core.update import DeleteOperation, InsertOperation
+from ..obs.trace import NOOP_TRACER, SpanContext, Tracer
+from ..service.admission import AdmissionConfig, AdmissionError
+from ..service.repository import RepositoryService
+from ..service.tickets import RemoteOrigin
+from ..storage.memory import FrozenDatabase
+from .envelopes import (
+    CommitNotice,
+    ExchangeFiring,
+    ExchangeRetraction,
+    QuestionAnswer,
+    QuestionCancelled,
+    QuestionOpened,
+    RemoteUpdate,
+)
+from .exchange import ExchangeRules, FederationError
+from .operations import RemoteFiringOperation, RemoteRetractionOperation
+from .peer import Peer
+from .socket_transport import (
+    ChannelClosed,
+    FrameChannel,
+    FrameListener,
+    OutgoingLink,
+    SocketAddress,
+    SocketTransportError,
+    monotonic,
+)
+from .transport import Bundle
+
+#: The reserved peer name the coordinator identifies itself with.
+COORDINATOR = "@coordinator"
+
+
+# ----------------------------------------------------------------------
+# Peer config files (written by the coordinator, read by the peer process)
+# ----------------------------------------------------------------------
+def encode_admission(admission: Optional[AdmissionConfig]) -> Optional[Dict]:
+    if admission is None:
+        return None
+    return {
+        "max_in_flight": admission.max_in_flight,
+        "batch_size": admission.batch_size,
+        "max_queue_depth": admission.max_queue_depth,
+        "compatible_groups": admission.compatible_groups,
+    }
+
+
+def decode_admission(body: Optional[Dict]) -> Optional[AdmissionConfig]:
+    if body is None:
+        return None
+    return AdmissionConfig(
+        max_in_flight=int(body["max_in_flight"]),
+        batch_size=int(body["batch_size"]),
+        max_queue_depth=None
+        if body["max_queue_depth"] is None
+        else int(body["max_queue_depth"]),
+        compatible_groups=bool(body["compatible_groups"]),
+    )
+
+
+def encode_peer_config(
+    name: str,
+    schema,
+    initial,
+    mappings,
+    ownership: Dict[str, Tuple[str, ...]],
+    addresses: Dict[str, SocketAddress],
+    tracker: str = "PRECISE",
+    admission: Optional[AdmissionConfig] = None,
+    max_total_steps: int = 1_000_000,
+    group_commit: bool = True,
+    coalesce: bool = True,
+    link_delay: float = 0.0,
+    reorder_seed: Optional[int] = None,
+    trace: bool = False,
+    trace_path: Optional[str] = None,
+    restore: Optional[str] = None,
+) -> bytes:
+    """One peer's complete startup description, as canonical codec JSON.
+
+    *initial* is the **union** initial database: the peer filters its own
+    store down to owned relations but needs the whole thing for null-factory
+    avoidance, exactly like the in-process network's constructor.
+    """
+    body = {
+        "v": WIRE_VERSION,
+        "t": "peer-config",
+        "name": name,
+        "schema": encode_schema(schema),
+        "mappings": [encode_tgd(tgd) for tgd in mappings],
+        "ownership": [
+            [peer, list(relations)] for peer, relations in ownership.items()
+        ],
+        "initial": {
+            relation: [encode_tuple(row) for row in sorted(
+                initial.tuples(relation), key=repr
+            )]
+            for relation in schema.relation_names()
+        },
+        "addresses": {
+            peer: address.to_body() for peer, address in addresses.items()
+        },
+        "tracker": tracker,
+        "admission": encode_admission(admission),
+        "max_total_steps": max_total_steps,
+        "group_commit": group_commit,
+        "coalesce": coalesce,
+        "link_delay": link_delay,
+        "reorder_seed": reorder_seed,
+        "trace": trace,
+        "trace_path": trace_path,
+        "restore": restore,
+    }
+    return dumps(body) + b"\n"
+
+
+# ----------------------------------------------------------------------
+# The host
+# ----------------------------------------------------------------------
+class PeerHost:
+    """One peer's event loop: sockets in, chase in the middle, sockets out."""
+
+    def __init__(self, config: Dict):
+        if config.get("v") != WIRE_VERSION:
+            raise CodecError(
+                "unsupported peer-config version {!r} (this build speaks {})".format(
+                    config.get("v"), WIRE_VERSION
+                )
+            )
+        if config.get("t") != "peer-config":
+            raise CodecError("not a peer config")
+        self.name = config["name"]
+        self.schema = decode_schema(config["schema"])
+        mappings = [decode_tgd(body) for body in config["mappings"]]
+        self._ownership = {
+            peer: tuple(relations) for peer, relations in config["ownership"]
+        }
+        self.owner_of: Dict[str, str] = {}
+        for peer, relations in self._ownership.items():
+            for relation in relations:
+                self.owner_of[relation] = peer
+        self.rules = ExchangeRules(mappings, self.owner_of)
+        initial = FrozenDatabase(self.schema, {
+            relation: frozenset(decode_tuple(body) for body in rows)
+            for relation, rows in config["initial"].items()
+        })
+        self._addresses = {
+            peer: SocketAddress.from_body(body)
+            for peer, body in config["addresses"].items()
+        }
+        self._admission = decode_admission(config["admission"])
+        self._tracker = config["tracker"]
+        self._max_total_steps = config["max_total_steps"]
+        self._group_commit = config["group_commit"]
+        self._coalesce = config["coalesce"]
+        self._trace_path = config.get("trace_path")
+        if config.get("trace"):
+            # One tracer per process, ids prefixed with the peer name so the
+            # coordinator's merged multi-file export cannot collide.
+            self.tracer = Tracer(prefix="{}.".format(self.name))
+        else:
+            # Explicitly the noop even under REPRO_TRACE=1: the inherited
+            # environment must not wire peer processes to *unprefixed*
+            # process-local tracers whose ids would collide when merged.
+            self.tracer = NOOP_TRACER
+        self._build_peer(initial, mappings, config.get("restore"))
+
+        # -- sockets -----------------------------------------------------
+        self._listener = FrameListener(self._addresses[self.name])
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, self._listener)
+        link_delay = float(config.get("link_delay") or 0.0)
+        reorder_seed = config.get("reorder_seed")
+        self._links: Dict[str, OutgoingLink] = {}
+        for peer, address in self._addresses.items():
+            if peer == self.name:
+                continue
+            rng = None
+            if reorder_seed is not None:
+                # Seed with a string: deterministic across processes (unlike
+                # hash()), distinct per directed link.
+                rng = Random("{}:{}:{}".format(reorder_seed, self.name, peer))
+            self._links[peer] = OutgoingLink(
+                peer, address, delay=link_delay, rng=rng
+            )
+        self._hello = encode_frame(
+            FRAME_CONTROL, dumps({"t": "hello", "peer": self.name})
+        )
+        self._coordinator: Optional[FrameChannel] = None
+        self._pending_events: List[bytes] = []
+
+        # -- bookkeeping -------------------------------------------------
+        #: Frames decoded per source peer (the drain accounting the
+        #: coordinator compares with senders' ``frames_sent``).
+        self.frames_received: Dict[str, int] = {}
+        self.payloads_received = 0
+        #: Own federated inbox keys ``(executing_peer, decision_id)``.
+        self._inbox: Dict[Tuple[str, int], bool] = {}
+        #: Envelope deliveries deferred by a full admission queue.
+        self._retry: List[object] = []
+        #: Coordinator submissions deferred the same way (flood submission
+        #: must be loss-free: admission overflow is backpressure here, not a
+        #: client error, because the submitting client is a remote process).
+        self._submit_retry: List[Tuple[int, object]] = []
+        self.deliveries_deferred = 0
+        self.answers_dropped = 0
+        self._halted = False
+        self._exit = False
+
+    # ------------------------------------------------------------------
+    # Peer construction / restore
+    # ------------------------------------------------------------------
+    def _build_peer(self, initial, mappings, restore_path: Optional[str]) -> None:
+        local = self.rules.local_mappings(self.name)
+        #: fid -> local service ticket (operations executing here).
+        self._fed_local: Dict[int, object] = {}
+        #: fids already reported terminal to the coordinator.
+        self._fed_reported: set = set()
+        #: fid -> root span (or None) of operations routed *from* here.
+        self._fed_routed: Dict[int, object] = {}
+        if restore_path is None:
+            contents = {
+                relation: frozenset(initial.tuples(relation))
+                if self.owner_of[relation] == self.name
+                else frozenset()
+                for relation in self.schema.relation_names()
+            }
+            service = RepositoryService(
+                FrozenDatabase(self.schema, contents),
+                local,
+                tracker=self._tracker,
+                admission=self._admission,
+                max_total_steps=self._max_total_steps,
+                group_commit=self._group_commit,
+                tracer=self.tracer,
+                trace_peer=self.name,
+                null_factory=NullFactory.avoiding_view(
+                    initial, prefix="{}s".format(self.name)
+                ),
+            )
+            self.peer = Peer(
+                name=self.name,
+                service=service,
+                owned_relations=self._ownership[self.name],
+                rules=self.rules,
+                firing_factory=NullFactory.avoiding_view(
+                    initial, prefix="{}f".format(self.name)
+                ),
+                coalesce=self._coalesce,
+            )
+            return
+        # Restart-from-checkpoint: the same rebuild the in-process
+        # network's restart_peer performs, driven by the checkpoint file.
+        restored = RepositoryService.restore(
+            restore_path,
+            local,
+            tracker=self._tracker,
+            admission=self._admission,
+            max_total_steps=self._max_total_steps,
+            group_commit=self._group_commit,
+            tracer=self.tracer,
+            trace_peer=self.name,
+        )
+        extra = restored.extra
+        self.peer = Peer(
+            name=self.name,
+            service=restored.service,
+            owned_relations=self._ownership[self.name],
+            rules=self.rules,
+            firing_factory=NullFactory.from_state(extra["firing_factory"]),
+            coalesce=self._coalesce,
+        )
+        for old_ticket_id, origin_body in extra.get("notify", ()):
+            replacement = restored.resubmitted.get(old_ticket_id)
+            if replacement is not None:
+                self.peer.expect_notice(
+                    replacement.ticket_id,
+                    RemoteOrigin(origin_body["peer"], origin_body["ticket"]),
+                )
+        host_extra = extra.get("host", {})
+        for fid, old_ticket_id in host_extra.get("fed_local", ()):
+            replacement = restored.resubmitted.get(old_ticket_id)
+            if replacement is not None:
+                self._fed_local[int(fid)] = replacement
+            # Missing: the ticket finished before the checkpoint, and its
+            # terminal event preceded checkpoint-done on the old control
+            # connection (FIFO) — the coordinator already knows.
+        for fid in host_extra.get("fed_routed", ()):
+            self._fed_routed[int(fid)] = None
+        self._restore_inbox = [
+            (executing, int(decision))
+            for executing, decision in host_extra.get("inbox", ())
+        ]
+        self._restore_retry = [
+            decode_payload(body) for body in host_extra.get("retry", ())
+        ]
+        self._restore_submit_retry = [
+            (int(fid), decode_user_operation(body))
+            for fid, body in host_extra.get("submit_retry", ())
+        ]
+        # Wire counters must survive the restart: the coordinator's drain
+        # barrier compares every sender's frames_sent against this peer's
+        # frames_received, and a reborn peer restarting at zero could never
+        # catch up with a survivor's full history.
+        self._restore_frames_received = [
+            (peer, int(count))
+            for peer, count in host_extra.get("frames_received", ())
+        ]
+        self._restore_frames_sent = [
+            (peer, int(count))
+            for peer, count in host_extra.get("frames_sent", ())
+        ]
+        self._restore_payloads_received = int(
+            host_extra.get("payloads_received", 0)
+        )
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        # Deliveries the checkpoint caught in the deferred-retry queue.
+        for payload in getattr(self, "_restore_retry", ()):
+            self._retry.append(payload)
+        for entry in getattr(self, "_restore_submit_retry", ()):
+            self._submit_retry.append(entry)
+        for key in getattr(self, "_restore_inbox", ()):
+            self._inbox[tuple(key)] = True
+        for peer, count in getattr(self, "_restore_frames_received", ()):
+            self.frames_received[peer] = count
+        for peer, count in getattr(self, "_restore_frames_sent", ()):
+            if peer in self._links:
+                self._links[peer].frames_sent = count
+        self.payloads_received += getattr(self, "_restore_payloads_received", 0)
+        try:
+            while not self._exit:
+                for key, _ in self._selector.select(self._select_timeout()):
+                    ready = key.data
+                    if ready is self._listener:
+                        self._accept()
+                    else:
+                        self._read_channel(ready)
+                if not self._halted:
+                    self._work()
+                    self._flush()
+        finally:
+            self._shutdown()
+
+    def _select_timeout(self) -> Optional[float]:
+        if self._exit:
+            return 0.0
+        if self._halted:
+            return None  # only control traffic matters now
+        due = [
+            link.next_due()
+            for link in self._links.values()
+            if link.next_due() is not None
+        ]
+        if self._retry or self._submit_retry:
+            # Admission frees on commits; retry shortly even without input.
+            due.append(monotonic() + 0.01)
+        if not due:
+            return None
+        return max(0.0, min(due) - monotonic())
+
+    def _accept(self) -> None:
+        channel = self._listener.accept()
+        self._selector.register(channel, selectors.EVENT_READ, channel)
+
+    def _read_channel(self, channel: FrameChannel) -> None:
+        try:
+            frames = channel.receive()
+        except ChannelClosed:
+            try:
+                self._selector.unregister(channel)
+            except KeyError:  # pragma: no cover - already gone
+                pass
+            if channel is self._coordinator:
+                # The coordinating process is gone; there is nobody left to
+                # drive or drain this peer.  Exiting here is the orphan
+                # protection the harness teardown relies on.
+                self._exit = True
+            return
+        for frame in frames:
+            if frame.kind == FRAME_CONTROL:
+                self._handle_control(channel, loads(frame.payload))
+            else:
+                self._handle_envelope(channel.label, frame.payload)
+
+    # ------------------------------------------------------------------
+    # Envelope delivery (mirrors FederatedNetwork._deliver_payload)
+    # ------------------------------------------------------------------
+    def _handle_envelope(self, source: str, payload_bytes: bytes) -> None:
+        self.frames_received[source] = self.frames_received.get(source, 0) + 1
+        if self.tracer.enabled:
+            before = self.tracer.clock()
+            payload = decode_envelope(payload_bytes)
+            decode_seconds = self.tracer.clock() - before
+            context = getattr(payload, "trace", None)
+            if context is not None:
+                # The receive half of the wire hop: codec CPU in the attrs,
+                # parented into the payload's trace like the in-process
+                # transport's wire span.
+                self.tracer.record_span(
+                    "wire",
+                    before,
+                    before + decode_seconds,
+                    phase="wire",
+                    parent=context,
+                    peer=self.name,
+                    kind=payload_kind(payload),
+                    destination=self.name,
+                    bytes=len(payload_bytes),
+                    decode_seconds=decode_seconds,
+                )
+        else:
+            payload = decode_envelope(payload_bytes)
+        if isinstance(payload, Bundle):
+            self.payloads_received += len(payload)
+            for inner in payload.payloads:
+                self._deliver_payload(inner)
+        else:
+            self.payloads_received += 1
+            self._deliver_payload(payload)
+
+    def _deliver_payload(self, payload: object) -> None:
+        if isinstance(payload, (RemoteUpdate, ExchangeFiring, ExchangeRetraction)):
+            if not self._submit_delivery(payload):
+                # Bounded admission queue is full: defer and retry on a
+                # later work round (backpressure, never loss).
+                self._retry.append(payload)
+                self.deliveries_deferred += 1
+        elif isinstance(payload, QuestionOpened):
+            key = (payload.executing_peer, payload.decision_id)
+            self._inbox[key] = True
+            self._event({
+                "t": "question",
+                "executing": payload.executing_peer,
+                "decision": payload.decision_id,
+                "inbox": self.name,
+                "request": encode_frontier_request(payload.request),
+                "origin": {
+                    "peer": payload.origin.peer,
+                    "ticket": payload.origin.ticket_id,
+                },
+                "desc": payload.ticket_description,
+                "tr": _encode_trace(payload.trace),
+            })
+        elif isinstance(payload, QuestionCancelled):
+            key = (payload.executing_peer, payload.decision_id)
+            if self._inbox.pop(key, None) is not None:
+                self._event({
+                    "t": "question-gone",
+                    "executing": payload.executing_peer,
+                    "decision": payload.decision_id,
+                    "inbox": self.name,
+                })
+        elif isinstance(payload, QuestionAnswer):
+            try:
+                self.peer.service.answer(
+                    self.peer.gateway.session_id, payload.decision_id, payload.choice
+                )
+                self.peer.mark_answered(payload.decision_id)
+            except OracleError:
+                # The asking update aborted while the answer was in flight;
+                # the restart will ask afresh.
+                self.answers_dropped += 1
+        elif isinstance(payload, CommitNotice):
+            fid = payload.origin.ticket_id
+            span = self._fed_routed.pop(fid, False)
+            if span is not False:
+                if span is not None:
+                    self.tracer.end_span(span, status=payload.status.value)
+                self._event({
+                    "t": "ticket", "fid": fid, "status": payload.status.value,
+                })
+        else:  # pragma: no cover - the payload union is closed
+            raise FederationError("undeliverable payload {!r}".format(payload))
+
+    def _submit_delivery(self, payload: object) -> bool:
+        """Re-submit one update-bearing payload; False when admission is full."""
+        if isinstance(payload, RemoteUpdate):
+            operation = payload.operation
+        elif isinstance(payload, ExchangeFiring):
+            operation = RemoteFiringOperation(
+                payload.tgd, payload.assignment(), payload.head_rows
+            )
+        else:
+            operation = RemoteRetractionOperation(payload.tgd, payload.assignment())
+        try:
+            ticket = self.peer.service.submit(
+                self.peer.gateway.session_id,
+                operation,
+                origin=payload.origin,
+                trace=payload.trace,
+            )
+        except AdmissionError:
+            return False
+        if isinstance(payload, RemoteUpdate):
+            self.peer.expect_notice(ticket.ticket_id, payload.origin)
+        return True
+
+    # ------------------------------------------------------------------
+    # Control handling
+    # ------------------------------------------------------------------
+    def _handle_control(self, channel: FrameChannel, body: Dict) -> None:
+        kind = body["t"]
+        if kind == "hello":
+            channel.label = body["peer"]
+            if channel.label == COORDINATOR:
+                self._coordinator = channel
+                pending, self._pending_events = self._pending_events, []
+                for frame in pending:
+                    self._send_event_frame(frame)
+        elif kind == "submit":
+            self._handle_submit(int(body["fid"]), decode_user_operation(body["op"]))
+        elif kind == "answer":
+            self._handle_answer(body)
+        elif kind == "status":
+            self._send_control(channel, self._status_reply(body.get("round", 0)))
+        elif kind == "hold":
+            self._links[body["peer"]].held = True
+        elif kind == "release":
+            self._links[body["peer"]].held = False
+        elif kind == "reset-link":
+            # The destination process was replaced: drop the (possibly
+            # half-dead) connection so the next flush dials the reborn
+            # listener.  Queued frames are kept — delivery stays
+            # at-least-once.
+            self._links[body["peer"]].reset()
+        elif kind == "drop-questions":
+            executing = body["executing"]
+            for key in [key for key in self._inbox if key[0] == executing]:
+                del self._inbox[key]
+        elif kind == "checkpoint":
+            self._handle_checkpoint(channel, body)
+        elif kind == "snapshot":
+            self._send_control(channel, {
+                "t": "snapshot-reply",
+                "relations": {
+                    relation: [encode_tuple(row) for row in sorted(rows, key=repr)]
+                    for relation, rows in self.peer.owned_snapshot().items()
+                },
+            })
+        elif kind == "trace-export":
+            count = self.tracer.export_jsonl(body["path"])
+            self._send_control(
+                channel, {"t": "trace-exported", "path": body["path"], "spans": count}
+            )
+        elif kind == "exit":
+            self._exit = True
+        else:
+            raise FederationError("unknown control message {!r}".format(kind))
+
+    def _handle_submit(self, fid: int, operation) -> None:
+        if isinstance(operation, (InsertOperation, DeleteOperation)):
+            target = self.owner_of[operation.row.relation]
+        else:
+            target = self.name
+        if target == self.name:
+            try:
+                self._fed_local[fid] = self.peer.service.submit(
+                    self.peer.gateway.session_id, operation
+                )
+            except AdmissionError:
+                self._submit_retry.append((fid, operation))
+            return
+        trace = None
+        span = None
+        if self.tracer.enabled:
+            # Routed submissions root their trace at the origin peer, like
+            # FederatedNetwork.submit; the root closes on the commit notice.
+            span = self.tracer.start_span(
+                "update",
+                peer=self.name,
+                kind="user",
+                op_type=type(operation).__name__,
+                op=operation.describe(),
+                ticket=fid,
+                routed_to=target,
+            )
+            trace = span.context
+        self._fed_routed[fid] = span
+        self._enqueue_payload(target, RemoteUpdate(
+            operation=operation,
+            origin=RemoteOrigin(self.name, fid),
+            trace=trace,
+        ))
+
+    def _handle_answer(self, body: Dict) -> None:
+        executing = body["executing"]
+        decision = int(body["decision"])
+        key = (executing, decision)
+        if self._inbox.pop(key, None) is None:
+            # Cancelled (or already answered) while the coordinator's answer
+            # was in flight — the in-process equivalent cannot race here, a
+            # real federation must tolerate it.
+            self.answers_dropped += 1
+            return
+        choice = _decode_choice(body["choice"])
+        if executing == self.name:
+            # A locally-executing question: answer straight into the service
+            # (no mark_answered — that is only for answers that arrived as
+            # envelopes, mirroring FederatedNetwork.answer's local path).
+            try:
+                self.peer.service.answer(
+                    self.peer.gateway.session_id, decision, choice
+                )
+            except OracleError:
+                self.answers_dropped += 1
+            return
+        self._enqueue_payload(executing, QuestionAnswer(
+            executing_peer=executing,
+            decision_id=decision,
+            choice=choice,
+            answered_by=self.name,
+            trace=_decode_trace(body.get("tr")),
+        ))
+
+    def _handle_checkpoint(self, channel: FrameChannel, body: Dict) -> None:
+        # Reach a local fixpoint, then push every queued frame out regardless
+        # of simulated link delay: the frames' contents are already decided,
+        # and a checkpoint must not strand them in a dying process.
+        self._work()
+        self._flush(force=True)
+        host_extra = {
+            "fed_local": sorted(
+                [fid, ticket.ticket_id]
+                for fid, ticket in self._fed_local.items()
+                if not ticket.is_done
+            ),
+            "fed_routed": sorted(self._fed_routed),
+            "inbox": sorted([executing, decision] for executing, decision in self._inbox),
+            "retry": [encode_payload(payload) for payload in self._retry],
+            "submit_retry": sorted(
+                [fid, encode_user_operation(operation)]
+                for fid, operation in self._submit_retry
+            ),
+            # Exact at checkpoint time: every link toward this peer is held
+            # and this peer is caught up (coordinator's checkpoint protocol),
+            # so the counters restored from here continue the same streams.
+            "frames_received": sorted(self.frames_received.items()),
+            "frames_sent": sorted(
+                (peer, link.frames_sent) for peer, link in self._links.items()
+            ),
+            "payloads_received": self.payloads_received,
+        }
+        self.peer.checkpoint(body["path"], extra={"host": host_extra})
+        if body.get("halt"):
+            # Freeze: no more pumps or flushes — the coordinator is about to
+            # kill this process, and work done after the checkpoint would
+            # fork the state the reborn peer restores.
+            self._halted = True
+        self._send_control(channel, {"t": "checkpoint-done", "path": body["path"]})
+
+    # ------------------------------------------------------------------
+    # The work fixpoint
+    # ------------------------------------------------------------------
+    def _work(self) -> None:
+        while True:
+            progress = False
+            if self._retry:
+                pending, self._retry = self._retry, []
+                for payload in pending:
+                    if not self._submit_delivery(payload):
+                        self._retry.append(payload)
+                if len(self._retry) != len(pending):
+                    progress = True
+            if self._submit_retry:
+                pending_submits, self._submit_retry = self._submit_retry, []
+                for fid, operation in pending_submits:
+                    try:
+                        self._fed_local[fid] = self.peer.service.submit(
+                            self.peer.gateway.session_id, operation
+                        )
+                        progress = True
+                    except AdmissionError:
+                        self._submit_retry.append((fid, operation))
+            report = self.peer.service.pump()
+            if report.steps or report.admitted or report.committed:
+                progress = True
+            opened_local, vanished = self.peer.scan_questions()
+            for question in opened_local:
+                key = (self.name, question.decision_id)
+                self._inbox[key] = True
+                context = question.ticket.trace_context
+                self._event({
+                    "t": "question",
+                    "executing": self.name,
+                    "decision": question.decision_id,
+                    "inbox": self.name,
+                    "request": encode_frontier_request(question.request),
+                    "origin": {
+                        "peer": self.name,
+                        "ticket": question.ticket.ticket_id,
+                    },
+                    "desc": question.ticket.describe(),
+                    "tr": _encode_trace(context),
+                })
+            for decision_id in vanished:
+                key = (self.name, decision_id)
+                if self._inbox.pop(key, None) is not None:
+                    self._event({
+                        "t": "question-gone",
+                        "executing": self.name,
+                        "decision": decision_id,
+                        "inbox": self.name,
+                    })
+            self.peer.scan_failures()
+            self._mirror_tickets()
+            if opened_local or vanished:
+                progress = True
+            if self.peer.outbox:
+                self._stage_outbox()
+                progress = True
+            if not progress:
+                return
+
+    def _mirror_tickets(self) -> None:
+        for fid, ticket in self._fed_local.items():
+            if fid in self._fed_reported or not ticket.is_done:
+                continue
+            self._fed_reported.add(fid)
+            self._event({"t": "ticket", "fid": fid, "status": ticket.status.value})
+
+    def _stage_outbox(self) -> None:
+        order: List[str] = []
+        by_destination: Dict[str, List[object]] = {}
+        for destination, payload in self.peer.outbox:
+            if destination not in by_destination:
+                order.append(destination)
+                by_destination[destination] = []
+            by_destination[destination].append(payload)
+        self.peer.outbox.clear()
+        for destination in order:
+            batch = by_destination[destination]
+            if len(batch) == 1 or not self._coalesce:
+                for payload in batch:
+                    self._enqueue_payload(destination, payload)
+            else:
+                trace = None
+                for payload in batch:
+                    trace = getattr(payload, "trace", None)
+                    if trace is not None:
+                        break
+                self._enqueue_payload(
+                    destination, Bundle(tuple(batch), trace=trace)
+                )
+
+    def _enqueue_payload(self, destination: str, payload: object) -> None:
+        if destination == self.name:  # pragma: no cover - rules never stage this
+            raise FederationError("peer {} staged an envelope to itself".format(
+                self.name
+            ))
+        if self.tracer.enabled:
+            before = self.tracer.clock()
+            encoded = encode_envelope(payload)
+            encode_seconds = self.tracer.clock() - before
+            context = getattr(payload, "trace", None)
+            if context is not None:
+                self.tracer.record_span(
+                    "wire",
+                    before,
+                    before + encode_seconds,
+                    phase="wire",
+                    parent=context,
+                    peer=self.name,
+                    kind=payload_kind(payload),
+                    destination=destination,
+                    bytes=len(encoded),
+                    encode_seconds=encode_seconds,
+                )
+        else:
+            encoded = encode_envelope(payload)
+        self._links[destination].enqueue(
+            encode_frame(FRAME_ENVELOPE, encoded), monotonic()
+        )
+
+    def _flush(self, force: bool = False) -> None:
+        now = float("inf") if force else monotonic()
+        for link in self._links.values():
+            link.flush(now, hello=self._hello)
+
+    # ------------------------------------------------------------------
+    # Events and replies
+    # ------------------------------------------------------------------
+    def _event(self, body: Dict) -> None:
+        frame = encode_frame(FRAME_CONTROL, dumps(body))
+        if self._coordinator is None or self._coordinator.closed:
+            self._pending_events.append(frame)
+            return
+        self._send_event_frame(frame)
+
+    def _send_event_frame(self, frame: bytes) -> None:
+        try:
+            self._coordinator.send_bytes(frame)
+        except SocketTransportError:
+            self._pending_events.append(frame)
+
+    def _send_control(self, channel: FrameChannel, body: Dict) -> None:
+        try:
+            channel.send_frame(FRAME_CONTROL, dumps(body))
+        except SocketTransportError:  # pragma: no cover - peer died mid-reply
+            pass
+
+    def _status_reply(self, round_number: int) -> Dict:
+        outbox = len(self.peer.outbox)
+        queued = sum(link.queued for link in self._links.values())
+        snapshot = self.peer.service.metrics_snapshot()
+        quiescent = (
+            self.peer.service.is_quiescent
+            and not outbox
+            and not queued
+            and not self._retry
+            and not self._submit_retry
+        )
+        return {
+            "t": "status-reply",
+            "round": round_number,
+            "peer": self.name,
+            "quiescent": quiescent,
+            "halted": self._halted,
+            "outbox": outbox,
+            "queued": queued,
+            "retry": len(self._retry) + len(self._submit_retry),
+            "held": sorted(
+                peer for peer, link in self._links.items() if link.held
+            ),
+            "sent": {
+                peer: link.frames_sent for peer, link in self._links.items()
+            },
+            "received": dict(self.frames_received),
+            "payloads_received": self.payloads_received,
+            "open_questions": len(self._inbox),
+            "committed": snapshot["committed"],
+            "metrics": {
+                key: snapshot[key]
+                for key in (
+                    "committed",
+                    "aborts",
+                    "parks",
+                    "resumes",
+                    "restarts",
+                    "turnaround_p50_seconds",
+                    "turnaround_p95_seconds",
+                    "queue_wait_p50_seconds",
+                    "queue_wait_p95_seconds",
+                )
+                if key in snapshot
+            },
+            "deliveries_deferred": self.deliveries_deferred,
+            "answers_dropped": self.answers_dropped,
+            "firings_emitted": self.peer.firings_emitted,
+            "retractions_emitted": self.peer.retractions_emitted,
+            "notices_emitted": self.peer.notices_emitted,
+            "envelopes_coalesced": self.peer.envelopes_coalesced,
+        }
+
+    def _shutdown(self) -> None:
+        if self._trace_path and self.tracer.enabled:
+            try:
+                self.tracer.export_jsonl(self._trace_path)
+            except OSError:  # pragma: no cover - export is best effort
+                pass
+        for link in self._links.values():
+            link.close()
+        for key in list(self._selector.get_map().values()):
+            ready = key.data
+            if ready is not self._listener:
+                ready.close()
+        self._selector.close()
+        self._listener.close()
+
+
+# ----------------------------------------------------------------------
+# Control-body trace contexts (same shape as the codec's "tr" field)
+# ----------------------------------------------------------------------
+def _encode_trace(context: Optional[SpanContext]) -> Optional[Dict[str, str]]:
+    if context is None:
+        return None
+    return {"ti": context.trace_id, "si": context.span_id}
+
+
+def _decode_trace(body: Optional[Dict[str, str]]) -> Optional[SpanContext]:
+    if body is None:
+        return None
+    return SpanContext(trace_id=body["ti"], span_id=body["si"])
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    """``repro-peer``: run one federation peer from a config file."""
+    parser = argparse.ArgumentParser(
+        prog="repro-peer",
+        description="Run one update-exchange federation peer as a process.",
+    )
+    parser.add_argument(
+        "--config",
+        required=True,
+        help="path to a codec-JSON peer config (written by ProcessFederation)",
+    )
+    arguments = parser.parse_args(argv)
+    with open(arguments.config, "rb") as handle:
+        config = loads(handle.read())
+    host = PeerHost(config)
+    try:
+        host.run()
+    except Exception:  # pragma: no cover - surfaced via the process log
+        traceback.print_exc()
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

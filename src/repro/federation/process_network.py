@@ -1,0 +1,823 @@
+"""The process federation: real peer processes, coordinated over sockets.
+
+:class:`ProcessFederation` is the multi-process counterpart of
+:class:`~repro.federation.network.FederatedNetwork`: the same schema /
+initial-state / mappings / ownership description, but every peer runs as its
+own OS process (spawned from the ``repro-peer`` entry point in
+:mod:`repro.federation.proc`) and the peers exchange envelopes directly over
+TCP or Unix-domain sockets, one :mod:`repro.codec.framing` frame per
+per-destination bundle.  The coordinator never touches an envelope: it only
+speaks the control protocol — submissions in, ticket/question events out,
+status polls for the drain barrier — so the exchange protocol on the peer
+links is exactly the wire codec the in-process transport already speaks, and
+the in-process federation stays available as the differential oracle.
+
+The public surface intentionally shadows the in-process network where the
+concept carries over: ``submit`` / ``ticket`` / ``inbox`` / ``answer`` /
+``drain`` (the process world's ``run_until_quiescent``) / ``partition`` /
+``heal`` / ``checkpoint_peer`` / ``kill_peer`` / ``restart_peer`` /
+``global_snapshot``.  Differences are forced by distribution: submission is
+asynchronous (admission backpressure happens inside the owning peer, not in
+the submitting client), and quiescence is a distributed condition —
+``drain`` declares the federation quiescent only when every peer reports
+itself idle, every directed link's receive counter has caught up with its
+send counter, and the whole picture repeats unchanged on a second poll.
+
+Teardown is strict by design: :meth:`close` walks exit-request → ``wait`` →
+``terminate`` → ``kill`` and then :meth:`assert_reaped` verifies no child
+outlived the federation, which is what keeps failing tests from leaking
+orphan processes or socket files.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..codec.framing import FRAME_CONTROL
+from ..codec.wire import (
+    _encode_choice,
+    decode_frontier_request,
+    decode_tuple,
+    dumps,
+    encode_user_operation,
+    loads,
+)
+from ..core.update import DeleteOperation, InsertOperation, UserOperation
+from ..service.tickets import RemoteOrigin, TicketStatus
+from ..storage.memory import FrozenDatabase
+from .exchange import FederationError
+from .network import AnswerStrategy, FederatedQuestion
+from ..obs.trace import SpanContext
+from .proc import COORDINATOR, encode_peer_config
+from .socket_transport import ChannelClosed, FrameChannel, SocketAddress
+
+
+class ProcessFederationError(FederationError):
+    """A coordination failure: a peer died, timed out, or misbehaved."""
+
+
+class ProcessTicket:
+    """The coordinator-side handle of one submitted user operation."""
+
+    __slots__ = ("fid", "peer", "target", "operation", "status")
+
+    def __init__(self, fid: int, peer: str, target: str, operation: UserOperation):
+        self.fid = fid
+        self.peer = peer
+        self.target = target
+        self.operation = operation
+        self.status = TicketStatus.QUEUED
+
+    @property
+    def is_done(self) -> bool:
+        return self.status in (TicketStatus.COMMITTED, TicketStatus.FAILED)
+
+    def describe(self) -> str:
+        return "process ticket #{} {}@{} -> {}: {}".format(
+            self.fid,
+            self.status.value,
+            self.peer,
+            self.target,
+            self.operation.describe(),
+        )
+
+
+class _PeerHandle:
+    """Everything the coordinator tracks per peer process."""
+
+    __slots__ = (
+        "name",
+        "address",
+        "config_path",
+        "log_path",
+        "process",
+        "channel",
+        "replies",
+        "last_status",
+    )
+
+    def __init__(self, name: str, address: SocketAddress):
+        self.name = name
+        self.address = address
+        self.config_path: Optional[str] = None
+        self.log_path: Optional[str] = None
+        self.process: Optional[subprocess.Popen] = None
+        self.channel: Optional[FrameChannel] = None
+        #: Replies keyed by message type, drained by the await helpers.
+        self.replies: Dict[str, List[Dict]] = {}
+        self.last_status: Optional[Dict] = None
+
+
+class ProcessFederation:
+    """Many peer *processes*, one federation, driven over control sockets."""
+
+    def __init__(
+        self,
+        schema,
+        initial,
+        mappings: Sequence,
+        ownership: Dict[str, Sequence[str]],
+        tracker: str = "PRECISE",
+        admission=None,
+        max_total_steps: int = 1_000_000,
+        coalesce_envelopes: bool = True,
+        group_commit: bool = True,
+        link_delay: float = 0.0,
+        reorder_seed: Optional[int] = None,
+        trace: Optional[bool] = None,
+        transport: str = "unix",
+        workdir: Optional[str] = None,
+        startup_timeout: float = 20.0,
+    ):
+        self.schema = schema
+        self._initial = initial
+        self._mappings = list(mappings)
+        self._ownership = {
+            name: tuple(relations) for name, relations in ownership.items()
+        }
+        owner_of: Dict[str, str] = {}
+        for peer_name, relations in self._ownership.items():
+            for relation in relations:
+                if relation not in schema:
+                    raise FederationError(
+                        "peer {!r} claims unknown relation {!r}".format(
+                            peer_name, relation
+                        )
+                    )
+                if relation in owner_of:
+                    raise FederationError(
+                        "relation {!r} claimed by both {!r} and {!r}".format(
+                            relation, owner_of[relation], peer_name
+                        )
+                    )
+                owner_of[relation] = peer_name
+        unowned = [name for name in schema.relation_names() if name not in owner_of]
+        if unowned:
+            raise FederationError(
+                "no peer owns relation(s) {}".format(sorted(unowned))
+            )
+        self.owner_of = owner_of
+        self._tracker = tracker
+        self._admission = admission
+        self._max_total_steps = max_total_steps
+        self._coalesce = coalesce_envelopes
+        self._group_commit = group_commit
+        self._link_delay = link_delay
+        self._reorder_seed = reorder_seed
+        if trace is None:
+            # Same opt-in as everywhere else: REPRO_TRACE=1 turns the whole
+            # federation on (each peer process gets its own prefixed tracer).
+            trace = os.environ.get("REPRO_TRACE") == "1"
+        self._trace = trace
+        self._startup_timeout = startup_timeout
+        self._owns_workdir = workdir is None
+        self.workdir = workdir or tempfile.mkdtemp(prefix="repro-fed-")
+        os.makedirs(self.workdir, exist_ok=True)
+        self._addresses = self._assign_addresses(transport)
+        self._handles: Dict[str, _PeerHandle] = {
+            name: _PeerHandle(name, self._addresses[name])
+            for name in self._ownership
+        }
+        self._selector = selectors.DefaultSelector()
+        self._inboxes: Dict[str, Dict[Tuple[str, int], FederatedQuestion]] = {
+            name: {} for name in self._ownership
+        }
+        self._tickets: Dict[int, ProcessTicket] = {}
+        self._next_fid = 1
+        self._next_round = 1
+        self._closed = False
+        #: Peers whose control EOF is expected (killed or exiting).
+        self._expect_eof: set = set()
+        try:
+            for name in self._ownership:
+                self._spawn(name, restore=None)
+            for name in self._ownership:
+                self._connect(name)
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Spawning and connecting
+    # ------------------------------------------------------------------
+    def _assign_addresses(self, transport: str) -> Dict[str, SocketAddress]:
+        if transport == "unix":
+            return {
+                name: SocketAddress.unix(
+                    os.path.join(self.workdir, "peer-{}.sock".format(name))
+                )
+                for name in self._ownership
+            }
+        if transport != "tcp":
+            raise ProcessFederationError(
+                "unknown transport {!r} (use 'unix' or 'tcp')".format(transport)
+            )
+        addresses: Dict[str, SocketAddress] = {}
+        probes = []
+        try:
+            for name in self._ownership:
+                # Bind port 0 and keep the socket open while picking the
+                # rest, so the kernel cannot hand two peers the same port.
+                probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                probe.bind(("127.0.0.1", 0))
+                probes.append(probe)
+                addresses[name] = SocketAddress.tcp(
+                    "127.0.0.1", probe.getsockname()[1]
+                )
+        finally:
+            for probe in probes:
+                probe.close()
+        return addresses
+
+    def _spawn(self, name: str, restore: Optional[str]) -> None:
+        handle = self._handles[name]
+        trace_path = None
+        if self._trace:
+            trace_path = os.path.join(
+                self.workdir, "trace-{}.jsonl".format(name)
+            )
+        config = encode_peer_config(
+            name=name,
+            schema=self.schema,
+            initial=self._initial,
+            mappings=self._mappings,
+            ownership=self._ownership,
+            addresses=self._addresses,
+            tracker=self._tracker,
+            admission=self._admission.get(name)
+            if isinstance(self._admission, dict)
+            else self._admission,
+            max_total_steps=self._max_total_steps,
+            group_commit=self._group_commit,
+            coalesce=self._coalesce,
+            link_delay=self._link_delay,
+            reorder_seed=self._reorder_seed,
+            trace=self._trace,
+            trace_path=trace_path,
+            restore=restore,
+        )
+        config_path = os.path.join(self.workdir, "peer-{}.json".format(name))
+        with open(config_path, "wb") as handle_file:
+            handle_file.write(config)
+        handle.config_path = config_path
+        handle.log_path = os.path.join(self.workdir, "peer-{}.log".format(name))
+        environment = dict(os.environ)
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__import__("repro").__file__))
+        )
+        existing = environment.get("PYTHONPATH")
+        environment["PYTHONPATH"] = (
+            package_root if not existing
+            else package_root + os.pathsep + existing
+        )
+        with open(handle.log_path, "ab") as log:
+            # Import-and-call rather than ``-m``: the package __init__ pulls
+            # the proc module in, so runpy would warn about re-executing it.
+            handle.process = subprocess.Popen(
+                [sys.executable, "-c",
+                 "import sys; from repro.federation.proc import main; "
+                 "sys.exit(main())",
+                 "--config", config_path],
+                stdout=log,
+                stderr=log,
+                env=environment,
+            )
+
+    def _connect(self, name: str) -> None:
+        handle = self._handles[name]
+        deadline = time.monotonic() + self._startup_timeout
+        while True:
+            if handle.process.poll() is not None:
+                raise ProcessFederationError(
+                    "peer {!r} exited during startup (code {}); see {}".format(
+                        name, handle.process.returncode, handle.log_path
+                    )
+                )
+            try:
+                sock = handle.address.connect(timeout=1.0)
+                break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise ProcessFederationError(
+                        "peer {!r} did not start listening within {}s".format(
+                            name, self._startup_timeout
+                        )
+                    )
+                time.sleep(0.02)
+        channel = FrameChannel(sock, label=name)
+        channel.send_frame(
+            FRAME_CONTROL, dumps({"t": "hello", "peer": COORDINATOR})
+        )
+        handle.channel = channel
+        self._selector.register(channel, selectors.EVENT_READ, handle)
+        self._expect_eof.discard(name)
+
+    # ------------------------------------------------------------------
+    # Event pumping
+    # ------------------------------------------------------------------
+    def poll(self, timeout: float = 0.0) -> int:
+        """Process pending control traffic; returns handled message count."""
+        handled = 0
+        for key, _ in self._selector.select(timeout):
+            handle = key.data
+            try:
+                frames = handle.channel.receive()
+            except ChannelClosed:
+                self._selector.unregister(handle.channel)
+                handle.channel = None
+                if handle.name not in self._expect_eof:
+                    raise ProcessFederationError(
+                        "peer {!r} closed its control channel unexpectedly "
+                        "(exit code {}); see {}".format(
+                            handle.name,
+                            handle.process.poll(),
+                            handle.log_path,
+                        )
+                    )
+                continue
+            for frame in frames:
+                self._dispatch(handle, loads(frame.payload))
+                handled += 1
+        return handled
+
+    def _dispatch(self, handle: _PeerHandle, body: Dict) -> None:
+        kind = body["t"]
+        if kind == "ticket":
+            ticket = self._tickets.get(int(body["fid"]))
+            if ticket is not None and not ticket.is_done:
+                ticket.status = TicketStatus(body["status"])
+        elif kind == "question":
+            question = FederatedQuestion(
+                executing_peer=body["executing"],
+                decision_id=int(body["decision"]),
+                request=decode_frontier_request(body["request"]),
+                origin=RemoteOrigin(
+                    body["origin"]["peer"], body["origin"]["ticket"]
+                ),
+                description=body["desc"],
+                trace=_decode_trace(body.get("tr")),
+            )
+            self._inboxes[body["inbox"]][question.key] = question
+        elif kind == "question-gone":
+            self._inboxes[body["inbox"]].pop(
+                (body["executing"], int(body["decision"])), None
+            )
+        else:
+            # A reply (status-reply, checkpoint-done, snapshot-reply,
+            # trace-exported): parked for whoever is awaiting it.
+            handle.replies.setdefault(kind, []).append(body)
+
+    def _await_reply(
+        self, name: str, kind: str, deadline: float, matches=None
+    ) -> Dict:
+        handle = self._handles[name]
+        while True:
+            queued = handle.replies.get(kind, [])
+            for index, body in enumerate(queued):
+                if matches is None or matches(body):
+                    return queued.pop(index)
+            if time.monotonic() > deadline:
+                raise ProcessFederationError(
+                    "timed out waiting for {} from peer {!r}".format(kind, name)
+                )
+            self.poll(0.05)
+
+    def _send(self, name: str, body: Dict) -> None:
+        handle = self._handles[name]
+        if handle.channel is None:
+            raise ProcessFederationError(
+                "peer {!r} has no control channel".format(name)
+            )
+        handle.channel.send_frame(FRAME_CONTROL, dumps(body))
+
+    # ------------------------------------------------------------------
+    # Submission, questions, answers (the FederatedNetwork surface)
+    # ------------------------------------------------------------------
+    def peer_names(self) -> List[str]:
+        return list(self._ownership)
+
+    def _route(self, peer_name: str, operation: UserOperation) -> str:
+        if isinstance(operation, (InsertOperation, DeleteOperation)):
+            return self.owner_of[operation.row.relation]
+        return peer_name
+
+    def submit(self, peer_name: str, operation: UserOperation) -> ProcessTicket:
+        """Submit a user operation at *peer_name* (asynchronous: the ticket
+        reaches a terminal status when the peer's event says so)."""
+        if peer_name not in self._handles:
+            raise FederationError("unknown peer {!r}".format(peer_name))
+        ticket = ProcessTicket(
+            fid=self._next_fid,
+            peer=peer_name,
+            target=self._route(peer_name, operation),
+            operation=operation,
+        )
+        self._next_fid += 1
+        self._tickets[ticket.fid] = ticket
+        self._send(peer_name, {
+            "t": "submit",
+            "fid": ticket.fid,
+            "op": encode_user_operation(operation),
+        })
+        return ticket
+
+    def ticket(self, fid: int) -> ProcessTicket:
+        try:
+            return self._tickets[fid]
+        except KeyError:
+            raise FederationError("unknown federated ticket #{}".format(fid))
+
+    def tickets(self) -> List[ProcessTicket]:
+        return [self._tickets[fid] for fid in sorted(self._tickets)]
+
+    def inbox(self, peer_name: str) -> List[FederatedQuestion]:
+        """The open questions answerable at *peer_name*, oldest first."""
+        if peer_name not in self._inboxes:
+            raise FederationError("unknown peer {!r}".format(peer_name))
+        questions = self._inboxes[peer_name]
+        if not questions:
+            return []
+        return [question for _, question in sorted(questions.items())]
+
+    def answer(self, peer_name: str, question: FederatedQuestion, choice) -> None:
+        """Answer one of *peer_name*'s open federated questions."""
+        inbox = self._inboxes[peer_name]
+        if question.key not in inbox:
+            raise FederationError(
+                "question {} is not open at peer {!r}".format(
+                    question.key, peer_name
+                )
+            )
+        del inbox[question.key]
+        self._send(peer_name, {
+            "t": "answer",
+            "executing": question.executing_peer,
+            "decision": question.decision_id,
+            "choice": _encode_choice(choice),
+            "tr": _encode_trace(question.trace),
+        })
+
+    # ------------------------------------------------------------------
+    # Drain (the distributed run_until_quiescent)
+    # ------------------------------------------------------------------
+    def _status_round(self, names: Sequence[str], deadline: float) -> Dict[str, Dict]:
+        round_number = self._next_round
+        self._next_round += 1
+        for name in names:
+            self._send(name, {"t": "status", "round": round_number})
+        replies: Dict[str, Dict] = {}
+        for name in names:
+            replies[name] = self._await_reply(
+                name,
+                "status-reply",
+                deadline,
+                matches=lambda body: body.get("round") == round_number,
+            )
+            self._handles[name].last_status = replies[name]
+        return replies
+
+    @staticmethod
+    def _round_settled(replies: Dict[str, Dict]) -> bool:
+        """One status round's global-quiescence test."""
+        for reply in replies.values():
+            if not reply["quiescent"]:
+                return False
+        for name, reply in replies.items():
+            for destination, sent in reply["sent"].items():
+                if destination not in replies:
+                    continue
+                received = replies[destination]["received"].get(name, 0)
+                # At-least-once delivery: a resend after a reconnect can push
+                # received *past* sent, never below it at quiescence.
+                if received < sent:
+                    return False
+        return True
+
+    @staticmethod
+    def _round_fingerprint(replies: Dict[str, Dict]):
+        return {
+            name: (
+                reply["committed"],
+                tuple(sorted(reply["sent"].items())),
+                tuple(sorted(reply["received"].items())),
+                reply["open_questions"],
+            )
+            for name, reply in sorted(replies.items())
+        }
+
+    def drain(
+        self,
+        answer_strategy: Optional[AnswerStrategy] = None,
+        timeout: float = 60.0,
+    ) -> int:
+        """Poll, answer, and status-barrier until the federation is drained.
+
+        Quiescence must hold across *two consecutive* status rounds with an
+        identical counter fingerprint: a single settled round can race a
+        frame that left one peer after its reply and lands at another before
+        the coordinator looks again.  Returns the number of status rounds.
+        """
+        deadline = time.monotonic() + timeout
+        names = [
+            name for name, handle in self._handles.items()
+            if handle.channel is not None
+        ]
+        rounds = 0
+        settled_fingerprint = None
+        while True:
+            self.poll(0.01)
+            if answer_strategy is not None:
+                for peer_name in names:
+                    for question in self.inbox(peer_name):
+                        self.answer(
+                            peer_name, question, answer_strategy(question)
+                        )
+            replies = self._status_round(names, deadline)
+            rounds += 1
+            if self._round_settled(replies):
+                fingerprint = self._round_fingerprint(replies)
+                if settled_fingerprint == fingerprint:
+                    open_questions = sum(
+                        len(self._inboxes[name]) for name in names
+                    )
+                    if answer_strategy is not None and open_questions:
+                        settled_fingerprint = None
+                        continue
+                    return rounds
+                settled_fingerprint = fingerprint
+            else:
+                settled_fingerprint = None
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    "process federation failed to drain within {}s: {}".format(
+                        timeout,
+                        {
+                            name: {
+                                key: reply[key]
+                                for key in (
+                                    "quiescent", "outbox", "queued",
+                                    "retry", "held", "sent", "received",
+                                )
+                            }
+                            for name, reply in replies.items()
+                        },
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, a: str, b: str) -> None:
+        """Cut the link between two peers (frames queue, nothing is lost)."""
+        self._send(a, {"t": "hold", "peer": b})
+        self._send(b, {"t": "hold", "peer": a})
+
+    def heal(self, a: str, b: str) -> None:
+        """Reconnect two peers; held frames flow on their next flush."""
+        self._send(a, {"t": "release", "peer": b})
+        self._send(b, {"t": "release", "peer": a})
+
+    # ------------------------------------------------------------------
+    # Checkpoint, kill, restart
+    # ------------------------------------------------------------------
+    def checkpoint_peer(
+        self, name: str, path: str, halt: bool = False, timeout: float = 60.0
+    ) -> None:
+        """Checkpoint peer *name* with the traffic toward it quiesced.
+
+        Every other peer first holds its link toward the victim, and the
+        coordinator waits until the victim has consumed everything already
+        on the wire (its receive counters catch up with the others' send
+        counters) and gone idle — the same "no envelope addressed to the
+        victim is in flight" instant the in-process ``checkpoint_peer``
+        trivially has.  With ``halt=True`` the victim freezes after writing
+        the checkpoint (used by the kill flow, so no work postdates the
+        state the reborn process restores); without it the holds are
+        released and the federation resumes.
+        """
+        deadline = time.monotonic() + timeout
+        others = [
+            other for other in self._handles
+            if other != name and self._handles[other].channel is not None
+        ]
+        for other in others:
+            self._send(other, {"t": "hold", "peer": name})
+        while True:
+            replies = self._status_round(others + [name], deadline)
+            victim = replies[name]
+            caught_up = all(
+                victim["received"].get(other, 0)
+                >= replies[other]["sent"].get(name, 0)
+                for other in others
+            )
+            # The victim need not be fully quiescent (parked questions are
+            # checkpointable state, as in-process), but nothing addressed to
+            # it may be in flight and nothing may be stuck in its own queues.
+            if (
+                caught_up
+                and not victim["outbox"]
+                and not victim["queued"]
+                and not victim["retry"]
+            ):
+                break
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    "could not quiesce traffic toward {!r} within {}s".format(
+                        name, timeout
+                    )
+                )
+            self.poll(0.01)
+        self._send(name, {"t": "checkpoint", "path": path, "halt": halt})
+        self._await_reply(
+            name, "checkpoint-done", deadline,
+            matches=lambda body: body.get("path") == path,
+        )
+        if not halt:
+            for other in others:
+                self._send(other, {"t": "release", "peer": name})
+
+    def kill_peer(self, name: str, timeout: float = 10.0) -> None:
+        """Terminate a peer process (its unsaved state *is* the crash)."""
+        handle = self._handles[name]
+        self._expect_eof.add(name)
+        if handle.channel is not None:
+            self._selector.unregister(handle.channel)
+            handle.channel.close()
+            handle.channel = None
+        if handle.process is not None and handle.process.poll() is None:
+            handle.process.terminate()
+            try:
+                handle.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+                handle.process.kill()
+                handle.process.wait(timeout=timeout)
+
+    def restart_peer(self, name: str, path: str) -> None:
+        """Spawn a fresh process for *name* restoring the checkpoint *path*.
+
+        Mirrors the in-process ``restart_peer`` epilogue: questions whose
+        executing service died are dropped everywhere (the re-submitted
+        updates re-ask under fresh decision ids), and the holds the kill
+        flow placed toward the victim are released so held frames deliver
+        to the reborn process.
+        """
+        if self._handles[name].process is not None:
+            if self._handles[name].process.poll() is None:
+                raise ProcessFederationError(
+                    "peer {!r} is still running; kill_peer first".format(name)
+                )
+        self._spawn(name, restore=path)
+        self._connect(name)
+        for inbox in self._inboxes.values():
+            for key in [key for key in inbox if key[0] == name]:
+                del inbox[key]
+        for other, handle in self._handles.items():
+            if other == name or handle.channel is None:
+                continue
+            self._send(other, {"t": "drop-questions", "executing": name})
+            # Reset before release: a stale TCP connection to the dead
+            # process can swallow one sendall without an error, so the link
+            # must redial the reborn listener before any frame flushes.
+            self._send(other, {"t": "reset-link", "peer": name})
+            self._send(other, {"t": "release", "peer": name})
+
+    # ------------------------------------------------------------------
+    # Global state
+    # ------------------------------------------------------------------
+    def global_snapshot(self) -> FrozenDatabase:
+        """The union of every peer's committed owned relations."""
+        deadline = time.monotonic() + self._startup_timeout
+        names = [
+            name for name, handle in self._handles.items()
+            if handle.channel is not None
+        ]
+        for name in names:
+            self._send(name, {"t": "snapshot"})
+        owned: Dict[str, Dict[str, frozenset]] = {}
+        for name in names:
+            reply = self._await_reply(name, "snapshot-reply", deadline)
+            owned[name] = {
+                relation: frozenset(decode_tuple(row) for row in rows)
+                for relation, rows in reply["relations"].items()
+            }
+        contents: Dict[str, frozenset] = {}
+        for relation in self.schema.relation_names():
+            contents[relation] = owned[self.owner_of[relation]][relation]
+        return FrozenDatabase(self.schema, contents)
+
+    def metrics(self) -> Dict[str, Dict]:
+        """The most recent status reply per peer (drain refreshes them)."""
+        return {
+            name: handle.last_status
+            for name, handle in self._handles.items()
+            if handle.last_status is not None
+        }
+
+    def export_traces(self) -> List[str]:
+        """Ask every live peer to export its spans; returns the JSONL paths."""
+        deadline = time.monotonic() + self._startup_timeout
+        paths: List[str] = []
+        names = [
+            name for name, handle in self._handles.items()
+            if handle.channel is not None
+        ]
+        for name in names:
+            path = os.path.join(self.workdir, "trace-{}.jsonl".format(name))
+            self._send(name, {"t": "trace-export", "path": path})
+        for name in names:
+            reply = self._await_reply(name, "trace-exported", deadline)
+            paths.append(reply["path"])
+        return paths
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop every peer process: exit request, then escalate; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for name, handle in self._handles.items():
+            self._expect_eof.add(name)
+            if handle.channel is not None:
+                try:
+                    handle.channel.send_frame(FRAME_CONTROL, dumps({"t": "exit"}))
+                except (OSError, ConnectionError):
+                    pass
+        deadline = time.monotonic() + timeout
+        for handle in self._handles.values():
+            if handle.process is None:
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                handle.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                handle.process.terminate()
+                try:
+                    handle.process.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    handle.process.kill()
+                    handle.process.wait()
+        for handle in self._handles.values():
+            if handle.channel is not None:
+                try:
+                    self._selector.unregister(handle.channel)
+                except KeyError:  # pragma: no cover - already unregistered
+                    pass
+                handle.channel.close()
+                handle.channel = None
+        self._selector.close()
+        for address in self._addresses.values():
+            if address.kind == "unix":
+                try:
+                    os.unlink(address.path)
+                except OSError:
+                    pass
+        if self._owns_workdir:
+            shutil.rmtree(self.workdir, ignore_errors=True)
+
+    def assert_reaped(self) -> None:
+        """Raise unless every child exited and no socket file survives."""
+        alive = [
+            name for name, handle in self._handles.items()
+            if handle.process is not None and handle.process.poll() is None
+        ]
+        if alive:
+            raise AssertionError(
+                "peer process(es) still alive after close: {}".format(alive)
+            )
+        leaked = [
+            address.path
+            for address in self._addresses.values()
+            if address.kind == "unix" and os.path.exists(address.path)
+        ]
+        if leaked:
+            raise AssertionError(
+                "socket file(s) leaked after close: {}".format(leaked)
+            )
+
+    def __enter__(self) -> "ProcessFederation":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _encode_trace(context: Optional[SpanContext]) -> Optional[Dict[str, str]]:
+    if context is None:
+        return None
+    return {"ti": context.trace_id, "si": context.span_id}
+
+
+def _decode_trace(body: Optional[Dict[str, str]]) -> Optional[SpanContext]:
+    if body is None:
+        return None
+    return SpanContext(trace_id=body["ti"], span_id=body["si"])

@@ -1,0 +1,339 @@
+"""The socket transport: framed codec bytes between real OS processes.
+
+This module is the byte-moving half of the multi-process federation.  Where
+:class:`~repro.federation.transport.Transport` simulates a network inside one
+process (and stays on as the differential oracle), the classes here put the
+same codec dialect on actual sockets:
+
+* :class:`SocketAddress` — a Unix-domain path or a TCP host/port, with a
+  codec-JSON body so address maps travel inside peer config files;
+* :class:`FrameChannel` — one connected stream socket speaking
+  :mod:`repro.codec.framing` frames: ``send_frame`` writes, ``receive``
+  drains whatever the kernel has and returns complete frames (partials stay
+  buffered in the channel's :class:`~repro.codec.framing.FrameDecoder`);
+* :class:`FrameListener` — the accepting side, yielding channels;
+* :class:`OutgoingLink` — the sender-side per-destination queue re-creating
+  the in-process transport's link semantics on real sockets: optional
+  seconds-based delivery delay, seeded reordering of each ready batch, and
+  ``hold``/``release`` (partition: frames queue, nothing is lost) plus
+  transparent reconnect (a dead destination keeps its frames queued until it
+  comes back — exactly how the simulated transport treats a partition).
+
+Everything here is deliberately blocking-socket based: channels use blocking
+sockets with a send timeout, and the peer host multiplexes *reads* with a
+``selectors`` loop.  Frames are small (a per-destination bundle is one
+frame), so blocking ``sendall`` cannot stall meaningfully, and the code
+stays free of half-written-frame bookkeeping.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..codec.framing import Frame, FrameDecoder, encode_frame
+
+#: Send-side socket timeout: a peer whose kernel buffer stays full this long
+#: is treated as dead (frames requeue and the link redials).
+SEND_TIMEOUT_SECONDS = 10.0
+
+
+class SocketTransportError(ConnectionError):
+    """A channel operation failed (the peer is gone or the stream broke)."""
+
+
+class ChannelClosed(SocketTransportError):
+    """The remote side closed the stream (EOF)."""
+
+
+class SocketAddress:
+    """Where a peer listens: a Unix-domain path or a TCP endpoint."""
+
+    __slots__ = ("kind", "path", "host", "port")
+
+    def __init__(
+        self,
+        kind: str,
+        path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+    ):
+        if kind not in ("unix", "tcp"):
+            raise ValueError("unknown socket address kind {!r}".format(kind))
+        if kind == "unix" and not path:
+            raise ValueError("a unix address needs a path")
+        if kind == "tcp" and (not host or not port):
+            raise ValueError("a tcp address needs host and port")
+        self.kind = kind
+        self.path = path
+        self.host = host
+        self.port = port
+
+    @classmethod
+    def unix(cls, path: str) -> "SocketAddress":
+        return cls("unix", path=path)
+
+    @classmethod
+    def tcp(cls, host: str, port: int) -> "SocketAddress":
+        return cls("tcp", host=host, port=port)
+
+    def to_body(self) -> Dict[str, object]:
+        """The JSON body peer config files carry."""
+        if self.kind == "unix":
+            return {"kind": "unix", "path": self.path}
+        return {"kind": "tcp", "host": self.host, "port": self.port}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, object]) -> "SocketAddress":
+        if body["kind"] == "unix":
+            return cls.unix(str(body["path"]))
+        return cls.tcp(str(body["host"]), int(body["port"]))
+
+    def _family(self) -> int:
+        return socket.AF_UNIX if self.kind == "unix" else socket.AF_INET
+
+    def _target(self):
+        return self.path if self.kind == "unix" else (self.host, self.port)
+
+    def connect(self, timeout: float = 5.0) -> socket.socket:
+        """Dial this address; returns a connected blocking socket."""
+        sock = socket.socket(self._family(), socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(self._target())
+        except OSError:
+            sock.close()
+            raise
+        sock.settimeout(SEND_TIMEOUT_SECONDS)
+        if self.kind == "tcp":
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def describe(self) -> str:
+        if self.kind == "unix":
+            return "unix:{}".format(self.path)
+        return "tcp:{}:{}".format(self.host, self.port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return "SocketAddress({})".format(self.describe())
+
+
+class FrameChannel:
+    """One connected stream socket carrying frames in both directions."""
+
+    def __init__(self, sock: socket.socket, label: str = ""):
+        self.sock = sock
+        #: Who is on the other end ("" until the hello frame names them).
+        self.label = label
+        self.decoder = FrameDecoder()
+        self.closed = False
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def send_frame(self, kind: int, payload: bytes) -> None:
+        self.send_bytes(encode_frame(kind, payload))
+
+    def send_bytes(self, data: bytes) -> None:
+        """Write pre-framed bytes (possibly several frames batched)."""
+        if self.closed:
+            raise SocketTransportError("channel {} is closed".format(self.label))
+        try:
+            self.sock.sendall(data)
+        except OSError as error:
+            self.close()
+            raise SocketTransportError(
+                "send to {} failed: {}".format(self.label or "peer", error)
+            )
+
+    def receive(self) -> List[Frame]:
+        """Read once and return every frame that completed.
+
+        Call after a readiness notification: one ``recv`` on a readable
+        blocking socket returns promptly.  Raises :class:`ChannelClosed` on
+        EOF (the remote side is gone).
+        """
+        if self.closed:
+            raise ChannelClosed("channel {} is closed".format(self.label))
+        try:
+            data = self.sock.recv(1 << 16)
+        except OSError as error:
+            self.close()
+            raise ChannelClosed(
+                "recv from {} failed: {}".format(self.label or "peer", error)
+            )
+        if not data:
+            self.close()
+            raise ChannelClosed("{} closed the stream".format(self.label or "peer"))
+        return self.decoder.feed(data)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            try:
+                self.sock.close()
+            except OSError:  # pragma: no cover - close is best effort
+                pass
+
+
+class FrameListener:
+    """The accepting side of a peer: bound, listening, yields channels."""
+
+    def __init__(self, address: SocketAddress, backlog: int = 16):
+        self.address = address
+        if address.kind == "unix":
+            # A stale socket file from a crashed predecessor blocks bind.
+            try:
+                os.unlink(address.path)
+            except OSError:
+                pass
+        self.sock = socket.socket(address._family(), socket.SOCK_STREAM)
+        if address.kind == "tcp":
+            self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(address._target())
+        self.sock.listen(backlog)
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def accept(self) -> FrameChannel:
+        sock, _ = self.sock.accept()
+        sock.settimeout(SEND_TIMEOUT_SECONDS)
+        if self.address.kind == "tcp":
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return FrameChannel(sock)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        finally:
+            if self.address.kind == "unix":
+                try:
+                    os.unlink(self.address.path)
+                except OSError:
+                    pass
+
+
+class OutgoingLink:
+    """Sender-side state of one directed peer link.
+
+    Mirrors the in-process transport's per-link queue: frames queue with a
+    due time (``delay`` seconds), a seeded RNG shuffles each ready batch
+    (reorder), and ``hold`` parks the whole link (partition — frames are
+    *held*, never dropped).  The channel is dialed lazily and redialed after
+    failures; frames stay queued across reconnects, so a killed-and-restarted
+    destination receives everything once it listens again.
+    """
+
+    def __init__(
+        self,
+        destination: str,
+        address: SocketAddress,
+        delay: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        self.destination = destination
+        self.address = address
+        self.delay = delay
+        self.rng = rng
+        self.held = False
+        #: Queued ``(due_time, frame_bytes)`` pairs, FIFO by append order.
+        self.queue: List[Tuple[float, bytes]] = []
+        self.channel: Optional[FrameChannel] = None
+        #: Earliest next redial (monotonic seconds); backs off on failure.
+        self._retry_at = 0.0
+        #: Frames actually written to the socket (the drain accounting the
+        #: coordinator compares against the destination's received count).
+        self.frames_sent = 0
+
+    def enqueue(self, frame_bytes: bytes, now: float) -> None:
+        self.queue.append((now + self.delay, frame_bytes))
+
+    @property
+    def queued(self) -> int:
+        return len(self.queue)
+
+    def next_due(self) -> Optional[float]:
+        """The earliest due time among queued frames (None when idle/held)."""
+        if self.held or not self.queue:
+            return None
+        return min(due for due, _ in self.queue)
+
+    def _connect(self, hello: Optional[bytes]) -> Optional[FrameChannel]:
+        try:
+            sock = self.address.connect()
+        except OSError:
+            return None
+        channel = FrameChannel(sock, label=self.destination)
+        if hello is not None:
+            try:
+                channel.send_bytes(hello)
+            except SocketTransportError:
+                return None
+        return channel
+
+    def flush(self, now: float, hello: Optional[bytes] = None) -> int:
+        """Send every due frame; returns how many went out.
+
+        *hello* is the identification frame a fresh connection must lead
+        with (the receiver learns who is dialing from it).  On any send
+        failure the unsent frames stay queued and the link backs off before
+        redialing — delivery is at-least-once over reconnects, which is the
+        same contract the in-process transport gives a healed partition.
+        """
+        if self.held or not self.queue:
+            return 0
+        ready = [entry for entry in self.queue if entry[0] <= now]
+        if not ready:
+            return 0
+        if self.channel is None or self.channel.closed:
+            if now < self._retry_at:
+                return 0
+            self.channel = self._connect(hello)
+            if self.channel is None:
+                self._retry_at = now + 0.05
+                return 0
+        if self.rng is not None and len(ready) > 1:
+            self.rng.shuffle(ready)
+        remaining = [entry for entry in self.queue if entry[0] > now]
+        sent = 0
+        try:
+            # One syscall for the whole ready batch: the receiver's decoder
+            # splits the coalesced segment back into frames.
+            self.channel.send_bytes(b"".join(frame for _, frame in ready))
+            sent = len(ready)
+        except SocketTransportError:
+            # Nothing (or everything) went out; sendall gives no partial
+            # count.  Requeue the whole batch — receivers absorb duplicates
+            # idempotently, exactly like redelivery after a heal.
+            remaining = ready + remaining
+            self._retry_at = now + 0.05
+        self.queue = remaining
+        self.frames_sent += sent
+        return sent
+
+    def reset(self) -> None:
+        """Drop the connection (keep the queue); the next flush redials.
+
+        Needed when the *destination* process is replaced: a TCP connection
+        to a killed peer can accept one more ``sendall`` into its dead
+        buffer without an error (the RST races the write), silently losing
+        the frame — and this side never notices, because outgoing links are
+        write-only.  Resetting before traffic resumes makes the next flush
+        dial the reborn listener instead.
+        """
+        self.close()
+        self._retry_at = 0.0
+
+    def close(self) -> None:
+        if self.channel is not None:
+            self.channel.close()
+            self.channel = None
+
+
+def monotonic() -> float:
+    """The clock links and hosts share (separable for tests)."""
+    return time.monotonic()

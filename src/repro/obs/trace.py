@@ -134,7 +134,14 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+    def __init__(
+        self, clock: Callable[[], float] = time.perf_counter, prefix: str = ""
+    ):
+        #: Id prefix, empty for in-process tracers.  When several *processes*
+        #: trace one federation (the socket harness), each peer's tracer gets
+        #: a distinct prefix (``"p0."``) so the per-process deterministic
+        #: counters cannot mint colliding span ids across the merged export.
+        self.prefix = prefix
         self.clock = clock
         self.spans: List[Span] = []
         self._next_trace = 1
@@ -158,12 +165,12 @@ class Tracer:
                 parent.span_id if isinstance(parent, SpanContext) else parent.span_id
             )
         else:
-            trace_id = "t{}".format(self._next_trace)
+            trace_id = "{}t{}".format(self.prefix, self._next_trace)
             self._next_trace += 1
             parent_id = None
         span = Span(
             trace_id=trace_id,
-            span_id="s{}".format(self._next_span),
+            span_id="{}s{}".format(self.prefix, self._next_span),
             parent_id=parent_id,
             name=name,
             phase=phase,

@@ -1,0 +1,340 @@
+"""Socket-federation differential: real peer processes ≡ in-process ≡ chase.
+
+The acceptance bar of the multi-process transport: a federation of peer
+*processes* exchanging framed codec envelopes over Unix-domain sockets must
+drain to the same global state — hom-equivalence up to null renaming, ground
+parts exactly equal — as (a) the in-process :class:`FederatedNetwork` over
+the simulated transport and (b) the single-repository chase over the union
+of mappings.  Randomized 3–5 peer scenarios, simulated link delay with
+seeded reordering, partition-then-heal, and a kill-and-restart of a peer
+*process* from a checkpoint file all go through the same comparison.
+
+Every test tears its federation down through :func:`running`, which closes
+the coordinator and then *asserts* that no child process and no socket file
+survived — a failing test must not leak zombies (the harness teardown
+guarantee the CI smoke job relies on).
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.core.oracle import AlwaysExpandOracle
+from repro.core.schema import DatabaseSchema
+from repro.core.tgd import parse_tgds
+from repro.core.tuples import make_tuple
+from repro.core.update import InsertOperation
+from repro.federation import (
+    FederatedNetwork,
+    ProcessFederation,
+    Transport,
+    databases_equivalent,
+    reference_chase,
+)
+from repro.service.tickets import TicketStatus
+from repro.storage.memory import FrozenDatabase
+from repro.workload.federated_loop import (
+    FederatedClientSpec,
+    FederatedClosedLoopDriver,
+    expanding_answer,
+)
+from repro.workload.federation_gen import (
+    FederationScenarioConfig,
+    generate_federation_environment,
+)
+
+DRAIN_TIMEOUT = 120.0
+
+
+@contextlib.contextmanager
+def running(federation):
+    """Close the federation on the way out and assert every child is reaped."""
+    try:
+        yield federation
+    finally:
+        federation.close()
+        federation.assert_reaped()
+
+
+def chain_pieces():
+    schema = DatabaseSchema.from_dict(
+        {"A1": ["x"], "A2": ["x", "y"], "B1": ["x"], "B2": ["x"]}
+    )
+    mappings = parse_tgds(
+        [
+            "A1(x) -> exists y . A2(x, y)",
+            "A2(x, y) -> B1(x)",
+            "B1(x) -> B2(x)",
+        ]
+    )
+    initial = FrozenDatabase(
+        schema, {name: frozenset() for name in schema.relation_names()}
+    )
+    return schema, mappings, initial
+
+
+def _reference(environment):
+    reference = reference_chase(
+        environment.schema,
+        environment.initial,
+        list(environment.mappings),
+        environment.all_operations(),
+        oracle=AlwaysExpandOracle(),
+    )
+    assert reference.all_terminated
+    return reference
+
+
+def _run_inprocess(environment, delay=1):
+    network = FederatedNetwork(
+        environment.schema,
+        environment.initial,
+        list(environment.mappings),
+        environment.ownership,
+        transport=Transport(delay=delay),
+    )
+    specs = [
+        FederatedClientSpec(
+            peer=peer, name="client@{}".format(peer), operations=list(ops)
+        )
+        for peer, ops in environment.operations.items()
+    ]
+    driver = FederatedClosedLoopDriver(
+        network, specs, answer_delay=1, answer_strategy=expanding_answer
+    )
+    report = driver.run(max_rounds=5_000)
+    assert report.all_done and report.drained
+    return network
+
+
+def _submit_all(federation, environment):
+    tickets = []
+    for peer in sorted(environment.operations):
+        for operation in environment.operations[peer]:
+            tickets.append(federation.submit(peer, operation))
+    return tickets
+
+
+# ----------------------------------------------------------------------
+# Mechanics on the hand-built chain
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("transport", ["unix", "tcp"])
+def test_forward_cascade_across_processes(tmp_path, transport):
+    schema, mappings, initial = chain_pieces()
+    operations = [InsertOperation(make_tuple("A1", "v1"))]
+    with running(ProcessFederation(
+        schema,
+        initial,
+        mappings,
+        ownership={"a": ["A1", "A2"], "b": ["B1", "B2"]},
+        transport=transport,
+        workdir=str(tmp_path / transport),
+    )) as federation:
+        ticket = federation.submit("a", operations[0])
+        federation.drain(timeout=DRAIN_TIMEOUT)
+        assert ticket.status is TicketStatus.COMMITTED
+        snapshot = federation.global_snapshot()
+    assert snapshot.count("A1") == 1
+    assert snapshot.count("A2") == 1
+    assert snapshot.count("B1") == 1  # crossed a real socket
+    assert snapshot.count("B2") == 1  # cascaded through b's local chase
+    reference = reference_chase(schema, initial, mappings, operations)
+    assert databases_equivalent(snapshot, reference.final)
+
+
+def test_user_update_routed_to_owner_process(tmp_path):
+    schema, mappings, initial = chain_pieces()
+    with running(ProcessFederation(
+        schema,
+        initial,
+        mappings,
+        ownership={"a": ["A1", "A2"], "b": ["B1", "B2"]},
+        workdir=str(tmp_path),
+    )) as federation:
+        ticket = federation.submit("a", InsertOperation(make_tuple("B1", "w")))
+        assert ticket.target == "b"
+        federation.drain(timeout=DRAIN_TIMEOUT)
+        assert ticket.status is TicketStatus.COMMITTED
+        snapshot = federation.global_snapshot()
+        assert snapshot.count("B1") == 1
+        # Status replies carry per-peer commit counts: the update executed
+        # at the owner's process, not where it was submitted.
+        metrics = federation.metrics()
+        assert metrics["b"]["committed"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Randomized differential scenarios
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed,num_peers", [(0, 3), (1, 4), (2, 5)])
+def test_randomized_sockets_match_inprocess_and_reference(
+    tmp_path, seed, num_peers
+):
+    config = FederationScenarioConfig(
+        num_peers=num_peers,
+        cross_mappings=num_peers + 2,
+        seed=seed,
+    )
+    environment = generate_federation_environment(config)
+    with running(ProcessFederation(
+        environment.schema,
+        environment.initial,
+        list(environment.mappings),
+        environment.ownership,
+        workdir=str(tmp_path),
+    )) as federation:
+        tickets = _submit_all(federation, environment)
+        federation.drain(
+            answer_strategy=expanding_answer, timeout=DRAIN_TIMEOUT
+        )
+        assert all(ticket.is_done for ticket in tickets)
+        socket_snapshot = federation.global_snapshot()
+    reference = _reference(environment)
+    assert databases_equivalent(socket_snapshot, reference.final)
+    # Same scenario, in-process federation: the differential oracle.
+    inprocess = _run_inprocess(
+        generate_federation_environment(config)
+    ).global_snapshot()
+    assert databases_equivalent(socket_snapshot, inprocess)
+
+
+def test_delay_and_reorder_sockets_converge(tmp_path):
+    config = FederationScenarioConfig(num_peers=4, cross_mappings=6, seed=1)
+    environment = generate_federation_environment(config)
+    with running(ProcessFederation(
+        environment.schema,
+        environment.initial,
+        list(environment.mappings),
+        environment.ownership,
+        link_delay=0.01,
+        reorder_seed=11,
+        workdir=str(tmp_path),
+    )) as federation:
+        tickets = _submit_all(federation, environment)
+        federation.drain(
+            answer_strategy=expanding_answer, timeout=DRAIN_TIMEOUT
+        )
+        assert all(ticket.is_done for ticket in tickets)
+        snapshot = federation.global_snapshot()
+    assert databases_equivalent(snapshot, _reference(environment).final)
+
+
+def test_partition_then_heal_sockets_converge(tmp_path):
+    config = FederationScenarioConfig(
+        num_peers=3, cross_mappings=6, remote_insert_fraction=0.5, seed=4
+    )
+    environment = generate_federation_environment(config)
+    with running(ProcessFederation(
+        environment.schema,
+        environment.initial,
+        list(environment.mappings),
+        environment.ownership,
+        workdir=str(tmp_path),
+    )) as federation:
+        peers = environment.config.peer_names()
+        federation.partition(peers[0], peers[1])
+        federation.partition(peers[1], peers[2])
+        tickets = _submit_all(federation, environment)
+        # A routed submission whose path crosses the cut cannot finish: its
+        # RemoteUpdate frame is held on the origin's outgoing link.
+        cut = {(peers[0], peers[1]), (peers[1], peers[0]),
+               (peers[1], peers[2]), (peers[2], peers[1])}
+        blocked = [
+            ticket for ticket in tickets
+            if (ticket.peer, ticket.target) in cut
+        ]
+        assert blocked, "scenario routed nothing across the partition"
+        deadline_questions = 40
+        for _ in range(deadline_questions):
+            federation.poll(0.05)
+            for peer_name in peers:
+                for question in federation.inbox(peer_name):
+                    federation.answer(
+                        peer_name, question, expanding_answer(question)
+                    )
+        assert any(not ticket.is_done for ticket in blocked), (
+            "the partition should still be holding routed updates"
+        )
+        federation.heal(peers[0], peers[1])
+        federation.heal(peers[1], peers[2])
+        federation.drain(
+            answer_strategy=expanding_answer, timeout=DRAIN_TIMEOUT
+        )
+        assert all(ticket.is_done for ticket in tickets)
+        snapshot = federation.global_snapshot()
+    assert databases_equivalent(snapshot, _reference(environment).final)
+
+
+# ----------------------------------------------------------------------
+# Kill and restart of a real process
+# ----------------------------------------------------------------------
+# Both transports on purpose: a TCP connection to a killed peer can absorb
+# one sendall without an error (the RST races the write), so survivors must
+# reset their outgoing links before the release — UDS alone never sees it.
+@pytest.mark.parametrize("transport", ["unix", "tcp"])
+def test_kill_and_restart_peer_process_converges(tmp_path, transport):
+    config = FederationScenarioConfig(
+        num_peers=3,
+        cross_mappings=6,
+        operations_per_peer=6,
+        remote_insert_fraction=0.3,
+        seed=0,
+    )
+    environment = generate_federation_environment(config)
+    with running(ProcessFederation(
+        environment.schema,
+        environment.initial,
+        list(environment.mappings),
+        environment.ownership,
+        transport=transport,
+        workdir=str(tmp_path),
+    )) as federation:
+        tickets = _submit_all(federation, environment)
+        # Let the federation make *some* progress, then snapshot-and-kill a
+        # genuinely mid-workload victim process.
+        for _ in range(4):
+            federation.poll(0.05)
+            for peer_name in environment.config.peer_names():
+                for question in federation.inbox(peer_name):
+                    federation.answer(
+                        peer_name, question, expanding_answer(question)
+                    )
+        victim = environment.config.peer_names()[1]
+        old_pid = federation._handles[victim].process.pid
+        path = str(tmp_path / "{}.ckpt".format(victim))
+        federation.checkpoint_peer(victim, path, halt=True)
+        federation.kill_peer(victim)
+        assert federation._handles[victim].process.poll() is not None
+        federation.restart_peer(victim, path)
+        assert federation._handles[victim].process.pid != old_pid
+        federation.drain(
+            answer_strategy=expanding_answer, timeout=DRAIN_TIMEOUT
+        )
+        assert all(ticket.is_done for ticket in tickets)
+        snapshot = federation.global_snapshot()
+    assert databases_equivalent(snapshot, _reference(environment).final)
+
+
+# ----------------------------------------------------------------------
+# Teardown discipline
+# ----------------------------------------------------------------------
+def test_close_reaps_processes_mid_federation(tmp_path):
+    """Closing with traffic still in flight leaves no zombies or sockets."""
+    schema, mappings, initial = chain_pieces()
+    federation = ProcessFederation(
+        schema,
+        initial,
+        mappings,
+        ownership={"a": ["A1", "A2"], "b": ["B1", "B2"]},
+        workdir=str(tmp_path),
+    )
+    for index in range(10):
+        federation.submit("a", InsertOperation(make_tuple("A1", "v{}".format(index))))
+    # No drain: close mid-flight, exactly like a failing test's teardown.
+    federation.close()
+    federation.assert_reaped()
+    # Idempotent: a second close (pytest teardown after an explicit close)
+    # must not raise.
+    federation.close()
