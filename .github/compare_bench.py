@@ -39,6 +39,7 @@ TRACKED = (
         "federation_sockets.payloads_per_frame",
         ("federation_sockets", "payloads_per_frame"),
     ),
+    ("telemetry_overhead.on_vs_off", ("telemetry_overhead", "on_vs_off")),
 )
 
 

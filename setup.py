@@ -46,6 +46,7 @@ setup(
             "repro-serve=repro.service.cli:main",
             "repro-experiment=repro.workload.experiment:main",
             "repro-trace=repro.obs.cli:main",
+            "repro-top=repro.obs.top:main",
             "repro-peer=repro.federation.proc:main",
         ]
     },

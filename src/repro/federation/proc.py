@@ -37,8 +37,11 @@ The module doubles as the ``repro-peer`` console entry point::
 from __future__ import annotations
 
 import argparse
+import os
 import selectors
+import signal
 import sys
+import time
 import traceback
 from random import Random
 from typing import Dict, List, Optional, Tuple
@@ -68,6 +71,7 @@ from ..codec.wire import (
 from ..core.oracle import OracleError
 from ..core.terms import NullFactory
 from ..core.update import DeleteOperation, InsertOperation
+from ..obs.flight import FlightRecorder
 from ..obs.trace import NOOP_TRACER, SpanContext, Tracer
 from ..service.admission import AdmissionConfig, AdmissionError
 from ..service.repository import RepositoryService
@@ -144,6 +148,9 @@ def encode_peer_config(
     trace: bool = False,
     trace_path: Optional[str] = None,
     restore: Optional[str] = None,
+    telemetry_interval: float = 0.0,
+    flight_dir: Optional[str] = None,
+    flight_capacity: int = 512,
 ) -> bytes:
     """One peer's complete startup description, as canonical codec JSON.
 
@@ -179,6 +186,9 @@ def encode_peer_config(
         "trace": trace,
         "trace_path": trace_path,
         "restore": restore,
+        "telemetry_interval": telemetry_interval,
+        "flight_dir": flight_dir,
+        "flight_capacity": flight_capacity,
     }
     return dumps(body) + b"\n"
 
@@ -275,6 +285,35 @@ class PeerHost:
         self.answers_dropped = 0
         self._halted = False
         self._exit = False
+
+        # -- telemetry + flight recorder --------------------------------
+        #: Unsolicited heartbeat cadence in seconds (0 = telemetry off).
+        self._telemetry_interval = float(config.get("telemetry_interval") or 0.0)
+        self._telemetry_seq = 0
+        self._next_telemetry = (
+            monotonic() + self._telemetry_interval
+            if self._telemetry_interval > 0
+            else None
+        )
+        #: Last absolute metrics snapshot sent, for heartbeat deltas.
+        self._last_telemetry_metrics: Dict[str, object] = {}
+        flight_dir = config.get("flight_dir") or os.environ.get(
+            "REPRO_FLIGHT_DIR"
+        )
+        self.flight = FlightRecorder(
+            flight_dir,
+            self.name,
+            capacity=int(config.get("flight_capacity") or 512),
+        )
+        #: How many tracer spans the flight recorder has already captured.
+        self._flight_span_index = 0
+        # Wire counters join the metrics registry as a producer: the full
+        # collect() the status path serves now includes them uniformly
+        # (keys: wire_frames_sent, wire_frames_received, ...), so new
+        # instruments cannot silently drop off the status path again.
+        self.peer.service.metrics.registry.register_producer(
+            self._wire_metrics, prefix="wire_"
+        )
 
     # ------------------------------------------------------------------
     # Peer construction / restore
@@ -401,6 +440,13 @@ class PeerHost:
                 self._links[peer].frames_sent = count
         self.payloads_received += getattr(self, "_restore_payloads_received", 0)
         try:
+            # SIGTERM (the coordinator's terminate escalation, or an operator)
+            # must leave a postmortem: the handler raises so a select blocked
+            # without a timeout unblocks (PEP 475 would otherwise retry it).
+            signal.signal(signal.SIGTERM, self._on_sigterm)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+        try:
             while not self._exit:
                 for key, _ in self._selector.select(self._select_timeout()):
                     ready = key.data
@@ -411,24 +457,39 @@ class PeerHost:
                 if not self._halted:
                     self._work()
                     self._flush()
+                # Heartbeats keep beating while halted: a frozen-for-kill
+                # peer is still alive, and the watchdog should know.
+                self._telemetry_tick()
+        except Exception:
+            self._flight_dump(
+                "unhandled-exception", error=traceback.format_exc(limit=20)
+            )
+            raise
         finally:
             self._shutdown()
+
+    def _on_sigterm(self, signum, frame) -> None:
+        self._flight_dump("sigterm")
+        self._exit = True
+        raise SystemExit(0)
 
     def _select_timeout(self) -> Optional[float]:
         if self._exit:
             return 0.0
-        if self._halted:
-            return None  # only control traffic matters now
-        due = [
-            link.next_due()
-            for link in self._links.values()
-            if link.next_due() is not None
-        ]
-        if self._retry or self._submit_retry:
-            # Admission frees on commits; retry shortly even without input.
-            due.append(monotonic() + 0.01)
+        due = []
+        if self._next_telemetry is not None:
+            due.append(self._next_telemetry)
+        if not self._halted:
+            due.extend(
+                link.next_due()
+                for link in self._links.values()
+                if link.next_due() is not None
+            )
+            if self._retry or self._submit_retry:
+                # Admission frees on commits; retry shortly even without input.
+                due.append(monotonic() + 0.01)
         if not due:
-            return None
+            return None  # only control traffic matters now
         return max(0.0, min(due) - monotonic())
 
     def _accept(self) -> None:
@@ -447,6 +508,7 @@ class PeerHost:
                 # The coordinating process is gone; there is nobody left to
                 # drive or drain this peer.  Exiting here is the orphan
                 # protection the harness teardown relies on.
+                self._flight_dump("orphan-exit")
                 self._exit = True
             return
         for frame in frames:
@@ -493,7 +555,15 @@ class PeerHost:
 
     def _deliver_payload(self, payload: object) -> None:
         if isinstance(payload, (RemoteUpdate, ExchangeFiring, ExchangeRetraction)):
-            if not self._submit_delivery(payload):
+            admitted = self._submit_delivery(payload)
+            if self.flight.enabled:
+                self.flight.record(
+                    "delivery",
+                    payload=payload_kind(payload),
+                    origin=payload.origin.peer,
+                    deferred=not admitted,
+                )
+            if not admitted:
                 # Bounded admission queue is full: defer and retry on a
                 # later work round (backpressure, never loss).
                 self._retry.append(payload)
@@ -501,6 +571,11 @@ class PeerHost:
         elif isinstance(payload, QuestionOpened):
             key = (payload.executing_peer, payload.decision_id)
             self._inbox[key] = True
+            self.flight.record(
+                "question",
+                executing=payload.executing_peer,
+                decision=payload.decision_id,
+            )
             self._event({
                 "t": "question",
                 "executing": payload.executing_peer,
@@ -539,6 +614,9 @@ class PeerHost:
             if span is not False:
                 if span is not None:
                     self.tracer.end_span(span, status=payload.status.value)
+                self.flight.record(
+                    "notice", fid=fid, status=payload.status.value
+                )
                 self._event({
                     "t": "ticket", "fid": fid, "status": payload.status.value,
                 })
@@ -573,6 +651,10 @@ class PeerHost:
     # ------------------------------------------------------------------
     def _handle_control(self, channel: FrameChannel, body: Dict) -> None:
         kind = body["t"]
+        if self.flight.enabled and kind in (
+            "submit", "answer", "checkpoint", "exit", "hold", "release"
+        ):
+            self.flight.record("control", control=kind)
         if kind == "hello":
             channel.label = body["peer"]
             if channel.label == COORDINATOR:
@@ -789,6 +871,9 @@ class PeerHost:
             if fid in self._fed_reported or not ticket.is_done:
                 continue
             self._fed_reported.add(fid)
+            self.flight.record(
+                "ticket", fid=fid, status=ticket.status.value
+            )
             self._event({"t": "ticket", "fid": fid, "status": ticket.status.value})
 
     def _stage_outbox(self) -> None:
@@ -850,6 +935,95 @@ class PeerHost:
             link.flush(now, hello=self._hello)
 
     # ------------------------------------------------------------------
+    # Telemetry and the flight recorder
+    # ------------------------------------------------------------------
+    def _wire_metrics(self) -> Dict[str, object]:
+        """Socket-layer counters, published through the metrics registry."""
+        return {
+            "frames_sent": sum(
+                link.frames_sent for link in self._links.values()
+            ),
+            "frames_received": sum(self.frames_received.values()),
+            "payloads_received": self.payloads_received,
+            "deliveries_deferred": self.deliveries_deferred,
+            "answers_dropped": self.answers_dropped,
+        }
+
+    def _telemetry_tick(self) -> None:
+        """Emit one heartbeat frame and sync the flight recorder when due."""
+        if self._next_telemetry is None:
+            return
+        now = monotonic()
+        if now < self._next_telemetry:
+            return
+        self._next_telemetry = now + self._telemetry_interval
+        self._telemetry_seq += 1
+        self.flight.record("heartbeat", seq=self._telemetry_seq)
+        self._flight_sync()
+        if self._coordinator is not None and not self._coordinator.closed:
+            # Only a connected coordinator gets heartbeats: queueing them
+            # while disconnected would flood stale frames on reconnect.
+            frame = encode_frame(
+                FRAME_CONTROL, dumps(self._telemetry_body())
+            )
+            try:
+                self._coordinator.send_bytes(frame)
+            except SocketTransportError:
+                pass
+
+    def _telemetry_body(self) -> Dict:
+        """One unsolicited heartbeat: the status shape plus seq + deltas."""
+        body = self._status_reply(0)
+        del body["round"]
+        body["t"] = "telemetry"
+        body["seq"] = self._telemetry_seq
+        body["wall"] = time.time()
+        body["links"] = {
+            peer: link.stats() for peer, link in self._links.items()
+        }
+        # Metrics travel as deltas against the previous heartbeat: numeric
+        # keys carry the difference (the timeline re-accumulates them into
+        # absolutes), non-numeric keys pass through as-is.
+        metrics = body["metrics"]
+        delta: Dict[str, object] = {}
+        for key, value in metrics.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                base = self._last_telemetry_metrics.get(key, 0)
+                if isinstance(base, (int, float)) and not isinstance(base, bool):
+                    delta[key] = value - base
+                    continue
+            delta[key] = value
+        self._last_telemetry_metrics = metrics
+        body["metrics"] = delta
+        body["metrics_delta"] = True
+        return body
+
+    def _flight_sync(self) -> None:
+        """Copy tracer spans recorded since the last sync into the flight ring."""
+        if not self.flight.enabled:
+            return
+        spans = self.tracer.spans
+        if self._flight_span_index > len(spans):
+            self._flight_span_index = 0  # the tracer was cleared
+        for span in spans[self._flight_span_index:]:
+            self.flight.record_span(span.to_record())
+        self._flight_span_index = len(spans)
+        self.flight.flush()
+
+    def _flight_dump(self, reason: str, **fields: object) -> None:
+        """Postmortem: sync, re-capture the span tail, and dump to disk."""
+        if not self.flight.enabled:
+            return
+        self._flight_sync()
+        # Re-emit the recent span tail: spans captured *open* at an earlier
+        # heartbeat have closed since, and the dump must carry their final
+        # records (merge_spans dedups, preferring the closed record).
+        spans = self.tracer.spans
+        for span in spans[-64:]:
+            self.flight.record_span(span.to_record())
+        self.flight.dump(reason, **fields)
+
+    # ------------------------------------------------------------------
     # Events and replies
     # ------------------------------------------------------------------
     def _event(self, body: Dict) -> None:
@@ -901,21 +1075,12 @@ class PeerHost:
             "payloads_received": self.payloads_received,
             "open_questions": len(self._inbox),
             "committed": snapshot["committed"],
-            "metrics": {
-                key: snapshot[key]
-                for key in (
-                    "committed",
-                    "aborts",
-                    "parks",
-                    "resumes",
-                    "restarts",
-                    "turnaround_p50_seconds",
-                    "turnaround_p95_seconds",
-                    "queue_wait_p50_seconds",
-                    "queue_wait_p95_seconds",
-                )
-                if key in snapshot
-            },
+            # The *full* registry collect, not a hand-kept key list: every
+            # registered instrument and producer (service counters, store
+            # gauges, scheduler stats, wire_ counters) rides the status
+            # path uniformly.  tests/federation/test_telemetry.py pins the
+            # shape so a new instrument cannot silently drop off again.
+            "metrics": snapshot,
             "deliveries_deferred": self.deliveries_deferred,
             "answers_dropped": self.answers_dropped,
             "firings_emitted": self.peer.firings_emitted,
@@ -925,6 +1090,9 @@ class PeerHost:
         }
 
     def _shutdown(self) -> None:
+        # A graceful shutdown still closes the flight record (first-reason
+        # wins: a sigterm/orphan-exit/exception dump keeps its reason).
+        self._flight_dump("shutdown")
         if self._trace_path and self.tracer.enabled:
             try:
                 self.tracer.export_jsonl(self._trace_path)

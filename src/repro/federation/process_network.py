@@ -31,6 +31,7 @@ orphan processes or socket files.
 
 from __future__ import annotations
 
+import json
 import os
 import selectors
 import shutil
@@ -55,6 +56,7 @@ from ..service.tickets import RemoteOrigin, TicketStatus
 from ..storage.memory import FrozenDatabase
 from .exchange import FederationError
 from .network import AnswerStrategy, FederatedQuestion
+from ..obs.timeline import TelemetryTimeline
 from ..obs.trace import SpanContext
 from .proc import COORDINATOR, encode_peer_config
 from .socket_transport import ChannelClosed, FrameChannel, SocketAddress
@@ -136,6 +138,11 @@ class ProcessFederation:
         transport: str = "unix",
         workdir: Optional[str] = None,
         startup_timeout: float = 20.0,
+        telemetry_interval: float = 0.25,
+        stalled_after: float = 1.5,
+        dead_after: float = 2.0,
+        flight: bool = True,
+        flight_dir: Optional[str] = None,
     ):
         self.schema = schema
         self._initial = initial
@@ -181,6 +188,40 @@ class ProcessFederation:
         self._owns_workdir = workdir is None
         self.workdir = workdir or tempfile.mkdtemp(prefix="repro-fed-")
         os.makedirs(self.workdir, exist_ok=True)
+        # -- the live telemetry plane -----------------------------------
+        self._telemetry_interval = float(telemetry_interval)
+        #: Postmortem flight dumps land here (param > env > workdir/flight).
+        self._flight_dir = None
+        if flight:
+            self._flight_dir = (
+                flight_dir
+                or os.environ.get("REPRO_FLIGHT_DIR")
+                or os.path.join(self.workdir, "flight")
+            )
+        #: Federation-wide time series + liveness watchdog over heartbeats.
+        self.timeline = TelemetryTimeline(
+            interval=self._telemetry_interval,
+            stalled_after=stalled_after,
+            dead_after=dead_after,
+        )
+        for name in self._ownership:
+            self.timeline.register_peer(name)
+        self._last_liveness: Dict[str, str] = {}
+        #: Decomposition record of the most recent drain() (None before one).
+        self.last_drain: Optional[Dict] = None
+        self._spool_path = os.path.join(self.workdir, "telemetry.jsonl")
+        try:
+            self._spool_handle = open(self._spool_path, "a")
+        except OSError:  # pragma: no cover - unwritable workdir
+            self._spool_handle = None
+        self._spool({
+            "rec": "meta",
+            "interval": self._telemetry_interval,
+            "stalled_after": stalled_after,
+            "dead_after": dead_after,
+            "peers": sorted(self._ownership),
+            "wall": time.time(),
+        })
         self._addresses = self._assign_addresses(transport)
         self._handles: Dict[str, _PeerHandle] = {
             name: _PeerHandle(name, self._addresses[name])
@@ -263,6 +304,8 @@ class ProcessFederation:
             trace=self._trace,
             trace_path=trace_path,
             restore=restore,
+            telemetry_interval=self._telemetry_interval,
+            flight_dir=self._flight_dir,
         )
         config_path = os.path.join(self.workdir, "peer-{}.json".format(name))
         with open(config_path, "wb") as handle_file:
@@ -321,8 +364,44 @@ class ProcessFederation:
         self._expect_eof.discard(name)
 
     # ------------------------------------------------------------------
-    # Event pumping
+    # Event pumping and the telemetry plane
     # ------------------------------------------------------------------
+    def _spool(self, record: Dict) -> None:
+        """Append one record to the telemetry spool (what repro-top tails)."""
+        if self._spool_handle is None:
+            return
+        try:
+            self._spool_handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._spool_handle.flush()
+        except (OSError, ValueError):  # pragma: no cover - best effort
+            pass
+
+    def _observe_telemetry(self, peer: str, body: Dict, kind: str) -> None:
+        self.timeline.observe(peer, body, kind=kind)
+        self._spool({
+            "rec": "telemetry",
+            "peer": peer,
+            "kind": kind,
+            "wall": time.time(),
+            "body": body,
+        })
+
+    def liveness(self) -> Dict[str, Dict]:
+        """The watchdog's verdict per peer; spools state transitions."""
+        report = self.timeline.liveness()
+        for name, entry in report.items():
+            if self._last_liveness.get(name) != entry["state"]:
+                self._last_liveness[name] = entry["state"]
+                self._spool({
+                    "rec": "liveness",
+                    "peer": name,
+                    "state": entry["state"],
+                    "reason": entry.get("reason"),
+                    "age": entry.get("age"),
+                    "wall": time.time(),
+                })
+        return report
+
     def poll(self, timeout: float = 0.0) -> int:
         """Process pending control traffic; returns handled message count."""
         handled = 0
@@ -334,23 +413,26 @@ class ProcessFederation:
                 self._selector.unregister(handle.channel)
                 handle.channel = None
                 if handle.name not in self._expect_eof:
-                    raise ProcessFederationError(
-                        "peer {!r} closed its control channel unexpectedly "
-                        "(exit code {}); see {}".format(
-                            handle.name,
-                            handle.process.poll(),
-                            handle.log_path,
-                        )
+                    # A vanished peer is a liveness fact, not a coordinator
+                    # crash: the watchdog reports it dead right here (well
+                    # before any drain timeout), and the peer's flight dump
+                    # plus its log carry the why.
+                    self.timeline.mark_dead(
+                        handle.name,
+                        "eof(exit={})".format(handle.process.poll()),
                     )
                 continue
             for frame in frames:
                 self._dispatch(handle, loads(frame.payload))
                 handled += 1
+        self.liveness()
         return handled
 
     def _dispatch(self, handle: _PeerHandle, body: Dict) -> None:
         kind = body["t"]
-        if kind == "ticket":
+        if kind == "telemetry":
+            self._observe_telemetry(body["peer"], body, "telemetry")
+        elif kind == "ticket":
             ticket = self._tickets.get(int(body["fid"]))
             if ticket is not None and not ticket.is_done:
                 ticket.status = TicketStatus(body["status"])
@@ -482,6 +564,10 @@ class ProcessFederation:
                 matches=lambda body: body.get("round") == round_number,
             )
             self._handles[name].last_status = replies[name]
+            # Status replies feed the timeline too: a drain round proves the
+            # peer alive, and its absolute counters refresh the merged view,
+            # so post-drain metrics() is at least as fresh as the last round.
+            self._observe_telemetry(name, replies[name], "status")
         return replies
 
     @staticmethod
@@ -524,53 +610,99 @@ class ProcessFederation:
         identical counter fingerprint: a single settled round can race a
         frame that left one peer after its reply and lands at another before
         the coordinator looks again.  Returns the number of status rounds.
+
+        Each call leaves a latency-decomposition record (round count,
+        per-round wall seconds, settle reason) on ``self.last_drain`` and
+        the telemetry timeline's ``drains`` list.
         """
         deadline = time.monotonic() + timeout
-        names = [
-            name for name, handle in self._handles.items()
-            if handle.channel is not None
-        ]
+        started = time.monotonic()
+        round_seconds: List[float] = []
         rounds = 0
         settled_fingerprint = None
-        while True:
-            self.poll(0.01)
-            if answer_strategy is not None:
-                for peer_name in names:
-                    for question in self.inbox(peer_name):
-                        self.answer(
-                            peer_name, question, answer_strategy(question)
+        try:
+            while True:
+                # Recomputed per round: a peer that died mid-drain (watchdog
+                # marked it dead, channel gone) drops out instead of hanging
+                # every subsequent status round until the deadline.
+                names = [
+                    name for name, handle in self._handles.items()
+                    if handle.channel is not None
+                ]
+                self.poll(0.01)
+                if answer_strategy is not None:
+                    for peer_name in names:
+                        for question in self.inbox(peer_name):
+                            self.answer(
+                                peer_name, question, answer_strategy(question)
+                            )
+                round_started = time.monotonic()
+                replies = self._status_round(names, deadline)
+                round_seconds.append(time.monotonic() - round_started)
+                rounds += 1
+                if self._round_settled(replies):
+                    fingerprint = self._round_fingerprint(replies)
+                    if settled_fingerprint == fingerprint:
+                        open_questions = sum(
+                            len(self._inboxes[name]) for name in names
                         )
-            replies = self._status_round(names, deadline)
-            rounds += 1
-            if self._round_settled(replies):
-                fingerprint = self._round_fingerprint(replies)
-                if settled_fingerprint == fingerprint:
-                    open_questions = sum(
-                        len(self._inboxes[name]) for name in names
+                        if answer_strategy is not None and open_questions:
+                            settled_fingerprint = None
+                            continue
+                        self._record_drain(
+                            rounds, started, round_seconds,
+                            "two-round-fingerprint",
+                        )
+                        return rounds
+                    settled_fingerprint = fingerprint
+                else:
+                    settled_fingerprint = None
+                if time.monotonic() > deadline:
+                    self._record_drain(
+                        rounds, started, round_seconds, "timeout"
                     )
-                    if answer_strategy is not None and open_questions:
-                        settled_fingerprint = None
-                        continue
-                    return rounds
-                settled_fingerprint = fingerprint
-            else:
-                settled_fingerprint = None
-            if time.monotonic() > deadline:
-                raise RuntimeError(
-                    "process federation failed to drain within {}s: {}".format(
-                        timeout,
-                        {
-                            name: {
-                                key: reply[key]
-                                for key in (
-                                    "quiescent", "outbox", "queued",
-                                    "retry", "held", "sent", "received",
-                                )
-                            }
-                            for name, reply in replies.items()
-                        },
+                    raise RuntimeError(
+                        "process federation failed to drain within {}s: "
+                        "liveness={} {}".format(
+                            timeout,
+                            {
+                                name: entry["state"]
+                                for name, entry in self.liveness().items()
+                            },
+                            {
+                                name: {
+                                    key: reply[key]
+                                    for key in (
+                                        "quiescent", "outbox", "queued",
+                                        "retry", "held", "sent", "received",
+                                    )
+                                }
+                                for name, reply in replies.items()
+                            },
+                        )
                     )
-                )
+        except ProcessFederationError:
+            # A status round hung on a dead/stalled peer: record what the
+            # drain managed before surfacing the coordination failure.
+            self._record_drain(rounds, started, round_seconds, "peer-lost")
+            raise
+
+    def _record_drain(
+        self,
+        rounds: int,
+        started: float,
+        round_seconds: List[float],
+        settle_reason: str,
+    ) -> None:
+        record = {
+            "rounds": rounds,
+            "seconds": time.monotonic() - started,
+            "round_seconds": [round(value, 6) for value in round_seconds],
+            "settle_reason": settle_reason,
+        }
+        self.last_drain = record
+        self.timeline.record_drain(record)
+        self._spool({"rec": "drain", "wall": time.time(), "drain": record})
 
     # ------------------------------------------------------------------
     # Partitions
@@ -644,8 +776,13 @@ class ProcessFederation:
             for other in others:
                 self._send(other, {"t": "release", "peer": name})
 
-    def kill_peer(self, name: str, timeout: float = 10.0) -> None:
-        """Terminate a peer process (its unsaved state *is* the crash)."""
+    def kill_peer(self, name: str, timeout: float = 10.0, force: bool = False) -> None:
+        """Terminate a peer process (its unsaved state *is* the crash).
+
+        The default SIGTERM gives the victim's flight recorder a last dump;
+        ``force=True`` sends SIGKILL — no dump marker, only what the
+        recorder already flushed at its last heartbeat survives.
+        """
         handle = self._handles[name]
         self._expect_eof.add(name)
         if handle.channel is not None:
@@ -653,12 +790,17 @@ class ProcessFederation:
             handle.channel.close()
             handle.channel = None
         if handle.process is not None and handle.process.poll() is None:
-            handle.process.terminate()
+            if force:
+                handle.process.kill()
+            else:
+                handle.process.terminate()
             try:
                 handle.process.wait(timeout=timeout)
             except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
                 handle.process.kill()
                 handle.process.wait(timeout=timeout)
+        self.timeline.mark_dead(name, "killed")
+        self.liveness()
 
     def restart_peer(self, name: str, path: str) -> None:
         """Spawn a fresh process for *name* restoring the checkpoint *path*.
@@ -676,6 +818,9 @@ class ProcessFederation:
                 )
         self._spawn(name, restore=path)
         self._connect(name)
+        # The reborn process starts a fresh heartbeat stream.
+        self.timeline.revive(name)
+        self.liveness()
         for inbox in self._inboxes.values():
             for key in [key for key in inbox if key[0] == name]:
                 del inbox[key]
@@ -714,12 +859,25 @@ class ProcessFederation:
         return FrozenDatabase(self.schema, contents)
 
     def metrics(self) -> Dict[str, Dict]:
-        """The most recent status reply per peer (drain refreshes them)."""
-        return {
-            name: handle.last_status
-            for name, handle in self._handles.items()
-            if handle.last_status is not None
-        }
+        """The freshest status-shaped document per peer.
+
+        Served from the telemetry timeline: the merged view of the latest
+        unsolicited heartbeat *or* drain-time status reply, whichever came
+        last.  Freshness semantics: after ``drain()`` the numbers are at
+        least as fresh as the final status round (status replies feed the
+        timeline too); between drains they are at most one heartbeat
+        interval old; with telemetry off the values are exactly the old
+        drain-time ``last_status``.  Keys are bit-compatible with the raw
+        status reply; peers that have reported nothing yet are omitted.
+        """
+        merged: Dict[str, Dict] = {}
+        for name, handle in self._handles.items():
+            view = self.timeline.latest(name)
+            if view is None and handle.last_status is not None:
+                view = dict(handle.last_status)
+            if view is not None:
+                merged[name] = view
+        return merged
 
     def export_traces(self) -> List[str]:
         """Ask every live peer to export its spans; returns the JSONL paths."""
@@ -775,6 +933,12 @@ class ProcessFederation:
                 handle.channel.close()
                 handle.channel = None
         self._selector.close()
+        if self._spool_handle is not None:
+            try:
+                self._spool_handle.close()
+            except OSError:  # pragma: no cover - close is best effort
+                pass
+            self._spool_handle = None
         for address in self._addresses.values():
             if address.kind == "unix":
                 try:

@@ -256,6 +256,15 @@ class OutgoingLink:
     def queued(self) -> int:
         return len(self.queue)
 
+    def stats(self) -> Dict[str, object]:
+        """Inflight gauges for the telemetry plane (cheap, no syscalls)."""
+        return {
+            "queued": len(self.queue),
+            "held": self.held,
+            "connected": self.channel is not None and not self.channel.closed,
+            "frames_sent": self.frames_sent,
+        }
+
     def next_due(self) -> Optional[float]:
         """The earliest due time among queued frames (None when idle/held)."""
         if self.held or not self.queue:

@@ -17,11 +17,22 @@ service, federation, workload) can instrument itself without cycles:
 * :mod:`repro.obs.analysis` — cross-peer causal-chain reconstruction, the
   critical path of a commit, per-phase time breakdown and wire-byte
   attribution over exported span sets;
-* :mod:`repro.obs.cli` — the ``repro-trace`` entry point over JSONL exports.
+* :mod:`repro.obs.flight` — the always-on crash-safe
+  :class:`~repro.obs.flight.FlightRecorder`: a bounded ring of span records,
+  peer events and delivery decisions, dumped as prefixed JSONL postmortems;
+* :mod:`repro.obs.timeline` — the coordinator-side
+  :class:`~repro.obs.timeline.TelemetryTimeline`: per-peer heartbeat series,
+  the stalled/dead liveness watchdog, and drain-latency decomposition;
+* :mod:`repro.obs.cli` — the ``repro-trace`` entry point over JSONL exports
+  (``--flight`` folds postmortem dumps into the causal analysis);
+* :mod:`repro.obs.top` — the ``repro-top`` live per-peer console table.
 """
 
+from .analysis import TraceAnalysis, merge_spans
+from .flight import FlightRecorder, load_flight_records, load_flight_spans
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .stats import mean, percentile
+from .timeline import TelemetryTimeline
 from .trace import (
     NOOP_TRACER,
     NoopTracer,
@@ -34,6 +45,7 @@ from .trace import (
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -41,9 +53,14 @@ __all__ = [
     "NoopTracer",
     "Span",
     "SpanContext",
+    "TelemetryTimeline",
+    "TraceAnalysis",
     "Tracer",
     "default_tracer",
+    "load_flight_records",
+    "load_flight_spans",
     "load_spans",
     "mean",
+    "merge_spans",
     "percentile",
 ]

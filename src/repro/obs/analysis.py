@@ -22,12 +22,36 @@ Phase accounting conventions (must match the instrumentation sites):
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .trace import Span
 
 #: The phases every breakdown reports, in display order.
 PHASES = ("queue", "chase", "validate", "wire", "park", "transit")
+
+
+def merge_spans(*groups: Sequence[Span]) -> List[Span]:
+    """Merge span sets from several sources, deduplicating by identity.
+
+    A span can legitimately appear more than once: a flight recorder
+    captures it *open* at a heartbeat and again *closed* in the final dump,
+    and a normal trace export repeats both.  Records are keyed by
+    ``(trace_id, span_id)``; a closed record (``end`` set) always wins over
+    an open one, and between two records of the same closedness the
+    later-seen one wins.  First-seen order is preserved.
+    """
+    merged: Dict[Tuple[str, str], Span] = {}
+    order: List[Tuple[str, str]] = []
+    for group in groups:
+        for span in group:
+            key = (span.trace_id, span.span_id)
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = span
+                order.append(key)
+            elif existing.end is None or span.end is not None:
+                merged[key] = span
+    return [merged[key] for key in order]
 
 
 class TraceAnalysis:

@@ -3,12 +3,18 @@
 Usage::
 
     repro-trace TRACE.jsonl [MORE.jsonl ...] [--trace TRACE_ID]
+    repro-trace --flight /path/to/flight SURVIVOR.jsonl ...
 
 Reads one or more JSONL exports (from ``repro-serve --trace-out`` or a
 benchmark run), rebuilds the cross-peer causal structure, and prints the
 per-phase time breakdown, per-envelope-kind wire-byte attribution, the
 longest cross-peer chain, and the critical path of the last commit.  With
 ``--trace`` it prints the full span tree of one trace instead.
+
+``--flight DIR`` (repeatable) folds the span records inside a flight
+recorder's postmortem dumps into the same analysis: a crashed peer's spans
+merge with the survivors' normal exports (duplicates deduplicated, closed
+records preferred), closing causal chains the crash would otherwise sever.
 """
 
 from __future__ import annotations
@@ -16,7 +22,8 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
-from .analysis import TraceAnalysis
+from .analysis import TraceAnalysis, merge_spans
+from .flight import load_flight_spans
 from .trace import Span, load_spans
 
 
@@ -42,15 +49,30 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro-trace",
         description="Reconstruct cross-peer causal chains from JSONL span exports.",
     )
-    parser.add_argument("paths", nargs="+", help="JSONL span export files")
+    parser.add_argument("paths", nargs="*", help="JSONL span export files")
     parser.add_argument(
         "--trace",
         default=None,
         help="print the full span tree of one trace id instead of the summary",
     )
+    parser.add_argument(
+        "--flight",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="merge span records from a flight-recorder postmortem directory "
+        "(repeatable)",
+    )
     args = parser.parse_args(argv)
+    if not args.paths and not args.flight:
+        parser.error("need span export paths and/or --flight directories")
 
-    spans = load_spans(args.paths)
+    groups: List[List[Span]] = []
+    if args.paths:
+        groups.append(load_spans(args.paths))
+    for directory in args.flight:
+        groups.append(load_flight_spans(directory))
+    spans = merge_spans(*groups)
     analysis = TraceAnalysis(spans)
 
     if args.trace is not None:

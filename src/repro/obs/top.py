@@ -1,0 +1,232 @@
+"""``repro-top``: the live per-peer table of a running process federation.
+
+The coordinator spools every telemetry observation to
+``<workdir>/telemetry.jsonl``; this tool tails that spool and renders one
+row per peer — liveness state, heartbeat age, commit rate, queue depth,
+parked questions, frames in flight — refreshing in place like ``top``.
+
+Usage::
+
+    repro-top <workdir-or-telemetry.jsonl>            # live, refreshes
+    repro-top --once <workdir-or-telemetry.jsonl>     # one table, TSV
+    repro-top --demo --once                           # self-contained demo
+
+``--once`` prints a machine-readable table (tab-separated, one header line,
+one row per peer) and exits — the CI smoke asserts its shape.  ``--demo``
+spins up a tiny two-peer socket federation, pushes a few inserts through it
+and renders its table; with ``--once`` it exits after the drain, otherwise
+it shows a few live refreshes first.
+
+The module lives in ``obs`` but never imports the federation at module
+level (``obs`` is the lowest layer); ``--demo`` imports it lazily.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from .timeline import TelemetryTimeline
+
+#: The table columns, in order (the --once machine-readable contract).
+COLUMNS = (
+    "peer",
+    "state",
+    "hb_age_s",
+    "seq",
+    "committed",
+    "committed_per_s",
+    "queue",
+    "parked",
+    "inflight",
+    "sent",
+    "recv",
+)
+
+
+def _fmt(value, digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "{:.{}f}".format(value, digits)
+    return str(value)
+
+
+def render_table(
+    timeline: TelemetryTimeline, now: Optional[float] = None
+) -> List[str]:
+    """The per-peer table as TSV lines (header first), peers sorted by name."""
+    lines = ["\t".join(COLUMNS)]
+    liveness = timeline.liveness(now)
+    for name in sorted(timeline.peers):
+        view = timeline.latest(name) or {}
+        entry = liveness.get(name, {})
+        sent = view.get("sent") or {}
+        received = view.get("received") or {}
+        row = (
+            name,
+            str(entry.get("state", "unknown")),
+            _fmt(entry.get("age")),
+            _fmt(entry.get("seq", 0)),
+            _fmt(view.get("committed", 0)),
+            _fmt(timeline.committed_rate(name), 1),
+            # queue: work not yet absorbed (outbox staging + deferred retry)
+            _fmt(int(view.get("outbox") or 0) + int(view.get("retry") or 0)),
+            _fmt(view.get("open_questions", 0)),
+            # inflight: frames enqueued on outgoing links, not yet on the wire
+            _fmt(view.get("queued", 0)),
+            _fmt(sum(sent.values()) if sent else 0),
+            _fmt(sum(received.values()) if received else 0),
+        )
+        lines.append("\t".join(row))
+    return lines
+
+
+def _resolve_spool(path: str) -> str:
+    if os.path.isdir(path):
+        return os.path.join(path, "telemetry.jsonl")
+    return path
+
+
+def _print_table(timeline: TelemetryTimeline) -> None:
+    for line in render_table(timeline):
+        print(line)
+
+
+def _live(spool: str, interval: float) -> int:
+    try:
+        while True:
+            if os.path.exists(spool):
+                timeline = TelemetryTimeline.from_spool(spool)
+                # Clear and home, like top; harmless when redirected.
+                sys.stdout.write("\x1b[2J\x1b[H")
+                _print_table(timeline)
+                drains = timeline.drains
+                if drains:
+                    print(
+                        "last drain: {} rounds in {:.3f}s ({})".format(
+                            drains[-1].get("rounds"),
+                            drains[-1].get("seconds", 0.0),
+                            drains[-1].get("settle_reason"),
+                        )
+                    )
+                sys.stdout.flush()
+            else:
+                print("waiting for {} ...".format(spool))
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _demo(once: bool, interval: float) -> int:
+    # Lazy import: obs must not depend on the federation at module level.
+    from ..core.schema import DatabaseSchema
+    from ..core.tgd import parse_tgds
+    from ..core.tuples import make_tuple
+    from ..core.update import InsertOperation
+    from ..federation.process_network import ProcessFederation
+    from ..storage.memory import FrozenDatabase
+
+    schema = DatabaseSchema.from_dict(
+        {"A1": ["x"], "A2": ["x", "y"], "B1": ["x"], "B2": ["x"]}
+    )
+    mappings = parse_tgds(
+        [
+            "A1(x) -> exists y . A2(x, y)",
+            "A2(x, y) -> B1(x)",
+            "B1(x) -> B2(x)",
+        ]
+    )
+    initial = FrozenDatabase(
+        schema, {name: frozenset() for name in schema.relation_names()}
+    )
+    federation = ProcessFederation(
+        schema,
+        initial,
+        mappings,
+        ownership={"a": ["A1", "A2"], "b": ["B1", "B2"]},
+        telemetry_interval=0.05,
+    )
+    try:
+        for index in range(8):
+            federation.submit(
+                "a", InsertOperation(make_tuple("A1", "v{}".format(index)))
+            )
+        if not once:
+            for _ in range(3):
+                deadline = time.monotonic() + max(interval, 0.1)
+                while time.monotonic() < deadline:
+                    federation.poll(0.05)
+                _print_table(federation.timeline)
+                print()
+        federation.drain(timeout=60.0)
+        federation.poll(0.05)
+        _print_table(federation.timeline)
+        if federation.last_drain is not None:
+            print(
+                "last drain: {} rounds in {:.3f}s ({})".format(
+                    federation.last_drain["rounds"],
+                    federation.last_drain["seconds"],
+                    federation.last_drain["settle_reason"],
+                )
+            )
+    finally:
+        federation.close()
+        federation.assert_reaped()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:  # pragma: no cover - e.g. piped into head
+        return 0
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="Live per-peer telemetry table of a process federation.",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        help="a federation workdir or its telemetry.jsonl spool",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print one machine-readable (TSV) table and exit",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="refresh interval in seconds (live mode; default 1.0)",
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a tiny self-contained socket federation and render it",
+    )
+    args = parser.parse_args(argv)
+
+    if args.demo:
+        return _demo(args.once, args.interval)
+    if not args.path:
+        parser.error("need a federation workdir / telemetry.jsonl (or --demo)")
+    spool = _resolve_spool(args.path)
+    if args.once:
+        if not os.path.exists(spool):
+            print("no telemetry spool at {}".format(spool), file=sys.stderr)
+            return 1
+        _print_table(TelemetryTimeline.from_spool(spool))
+        return 0
+    return _live(spool, args.interval)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

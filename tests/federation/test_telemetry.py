@@ -1,0 +1,300 @@
+"""The live telemetry plane: heartbeats, watchdog, flight-recorder chaos.
+
+The acceptance differential of the observability PR: kill -9 a peer process
+mid-workload and the coordinator must *see* it — the watchdog flips the peer
+to ``dead`` within two heartbeat intervals, the victim's flight recorder has
+already flushed its recent spans to disk, and ``repro-trace --flight`` folds
+those postmortem spans together with the survivors' exports into a causal
+chain that crosses the dead peer.  Plus the satellite pins: the status reply
+carries the *full* metrics-registry collect (so a new instrument cannot
+silently drop off the status path), ``metrics()`` is heartbeat-fresh without
+a drain, and every drain leaves a latency-decomposition record.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.schema import DatabaseSchema
+from repro.core.tgd import parse_tgds
+from repro.core.tuples import make_tuple
+from repro.core.update import InsertOperation
+from repro.federation import ProcessFederation
+from repro.obs import cli as trace_cli
+from repro.obs.analysis import TraceAnalysis, merge_spans
+from repro.obs.flight import flight_paths, load_flight_spans
+from repro.obs.timeline import DEAD, LIVE, STALLED
+from repro.obs.trace import load_spans
+from repro.storage.memory import FrozenDatabase
+
+DRAIN_TIMEOUT = 120.0
+#: Deadline for "within two heartbeat intervals" assertions — generous in
+#: wall time (CI boxes stall), strict in heartbeat counts via the watchdog.
+WAIT_TIMEOUT = 30.0
+
+
+@contextlib.contextmanager
+def running(federation):
+    try:
+        yield federation
+    finally:
+        federation.close()
+        federation.assert_reaped()
+
+
+def chain_pieces():
+    schema = DatabaseSchema.from_dict(
+        {"A1": ["x"], "A2": ["x", "y"], "B1": ["x"], "B2": ["x"]}
+    )
+    mappings = parse_tgds(
+        [
+            "A1(x) -> exists y . A2(x, y)",
+            "A2(x, y) -> B1(x)",
+            "B1(x) -> B2(x)",
+        ]
+    )
+    initial = FrozenDatabase(
+        schema, {name: frozenset() for name in schema.relation_names()}
+    )
+    return schema, mappings, initial
+
+
+def chain_federation(tmp_path, **kwargs):
+    schema, mappings, initial = chain_pieces()
+    kwargs.setdefault("workdir", str(tmp_path))
+    kwargs.setdefault("telemetry_interval", 0.1)
+    return ProcessFederation(
+        schema,
+        initial,
+        mappings,
+        ownership={"a": ["A1", "A2"], "b": ["B1", "B2"]},
+        **kwargs,
+    )
+
+
+def _wait_until(condition, timeout=WAIT_TIMEOUT, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if condition():
+            return
+        time.sleep(0.02)
+    raise AssertionError("timed out waiting for {}".format(message))
+
+
+# ----------------------------------------------------------------------
+# Satellite: the status reply carries the full registry collect
+# ----------------------------------------------------------------------
+#: Every family of instruments that must ride the status path.  A missing
+#: key here means something fell off the registry — the exact regression
+#: the full-collect refactor exists to prevent.
+PINNED_METRIC_KEYS = {
+    # service counters and derived gauges
+    "committed", "failed", "admitted", "submitted", "parks", "resumes",
+    "restarts", "abort_rate", "throughput_per_second", "elapsed_seconds",
+    "turnaround_p50_seconds", "turnaround_p95_seconds",
+    "queue_wait_p50_seconds", "queue_wait_p95_seconds",
+    "frontier_wait_p50_seconds", "frontier_wait_p95_seconds",
+    # versioned-store gauges
+    "store_log_entries", "store_versions", "store_tuples",
+    "store_index_entries", "store_compactions",
+    # scheduler statistics
+    "scheduler_algorithm", "scheduler_steps", "scheduler_aborts",
+    "scheduler_updates_executed", "scheduler_wall_seconds",
+    # socket-layer counters (the wire_ producer added by this PR)
+    "wire_frames_sent", "wire_frames_received", "wire_payloads_received",
+    "wire_deliveries_deferred", "wire_answers_dropped",
+}
+
+#: The status-shaped top-level keys metrics() must keep bit-compatible.
+PINNED_STATUS_KEYS = {
+    "peer", "quiescent", "halted", "outbox", "queued", "retry", "held",
+    "sent", "received", "payloads_received", "open_questions", "committed",
+    "metrics", "deliveries_deferred", "answers_dropped", "firings_emitted",
+    "retractions_emitted", "notices_emitted", "envelopes_coalesced",
+}
+
+
+def test_status_reply_carries_the_full_metrics_registry(tmp_path):
+    with running(chain_federation(tmp_path)) as federation:
+        ticket = federation.submit("a", InsertOperation(make_tuple("A1", "v1")))
+        federation.drain(timeout=DRAIN_TIMEOUT)
+        assert ticket.is_done
+        merged = federation.metrics()
+        for name in ("a", "b"):
+            view = merged[name]
+            missing = PINNED_STATUS_KEYS - set(view)
+            assert not missing, "peer {} status lost keys {}".format(
+                name, sorted(missing)
+            )
+            lost = PINNED_METRIC_KEYS - set(view["metrics"])
+            assert not lost, "peer {} registry lost keys {}".format(
+                name, sorted(lost)
+            )
+        assert merged["a"]["metrics"]["committed"] >= 1
+        # Wire counters agree with the status-reply top level.
+        assert (
+            merged["a"]["metrics"]["wire_payloads_received"]
+            == merged["a"]["payloads_received"]
+        )
+
+
+# ----------------------------------------------------------------------
+# Satellite: metrics() is heartbeat-fresh between drains
+# ----------------------------------------------------------------------
+def test_metrics_are_heartbeat_fresh_without_a_drain(tmp_path):
+    with running(chain_federation(tmp_path)) as federation:
+        ticket = federation.submit("a", InsertOperation(make_tuple("A1", "v1")))
+
+        def fresh():
+            federation.poll(0.05)
+            merged = federation.metrics()
+            return (
+                merged.get("a", {}).get("committed", 0) >= 1
+                and merged.get("b", {}).get("committed", 0) >= 1
+            )
+
+        # Never calls drain(): only unsolicited heartbeats can deliver this.
+        _wait_until(fresh, message="heartbeat-fresh commit counters")
+        assert ticket.status.value == "committed"
+        liveness = federation.liveness()
+        assert liveness["a"]["state"] == LIVE
+        assert liveness["b"]["state"] == LIVE
+        assert liveness["a"]["seq"] >= 1
+        federation.drain(timeout=DRAIN_TIMEOUT)
+
+
+# ----------------------------------------------------------------------
+# The liveness watchdog
+# ----------------------------------------------------------------------
+def test_watchdog_flags_a_stopped_peer_and_recovers(tmp_path):
+    with running(chain_federation(tmp_path)) as federation:
+        _wait_until(
+            lambda: (federation.poll(0.05) or True)
+            and federation.liveness()["b"]["state"] == LIVE,
+            message="first heartbeat from b",
+        )
+        victim = federation._handles["b"].process.pid
+        os.kill(victim, signal.SIGSTOP)
+        try:
+            # Heartbeats stop; the watchdog escalates on age alone (the
+            # control channel stays open — this is not the EOF path).
+            _wait_until(
+                lambda: (federation.poll(0.05) or True)
+                and federation.liveness()["b"]["state"] in (STALLED, DEAD),
+                message="watchdog stall verdict",
+            )
+            _wait_until(
+                lambda: (federation.poll(0.05) or True)
+                and federation.liveness()["b"]["state"] == DEAD,
+                message="watchdog dead verdict",
+            )
+            assert federation.liveness()["a"]["state"] == LIVE
+        finally:
+            os.kill(victim, signal.SIGCONT)
+        # Age-based death is not sticky: fresh heartbeats revive the peer.
+        _wait_until(
+            lambda: (federation.poll(0.05) or True)
+            and federation.liveness()["b"]["state"] == LIVE,
+            message="recovery after SIGCONT",
+        )
+        federation.drain(timeout=DRAIN_TIMEOUT)
+
+
+# ----------------------------------------------------------------------
+# Satellite: drain leaves a latency decomposition
+# ----------------------------------------------------------------------
+def test_drain_records_its_latency_decomposition(tmp_path):
+    with running(chain_federation(tmp_path)) as federation:
+        federation.submit("a", InsertOperation(make_tuple("A1", "v1")))
+        rounds = federation.drain(timeout=DRAIN_TIMEOUT)
+        record = federation.last_drain
+        assert record is not None
+        assert record["rounds"] == rounds >= 2  # two-round fingerprint
+        assert record["settle_reason"] == "two-round-fingerprint"
+        assert len(record["round_seconds"]) == rounds
+        assert record["seconds"] >= sum(record["round_seconds"]) * 0.5
+        assert federation.timeline.drains[-1] is record
+        # The spool carries it too (what repro-top's footer renders).
+        with open(federation._spool_path) as handle:
+            assert any('"rec": "drain"' in line for line in handle)
+
+
+# ----------------------------------------------------------------------
+# The chaos-visibility acceptance differential: kill -9 mid-workload
+# ----------------------------------------------------------------------
+def test_kill9_is_visible_and_flight_dump_closes_the_story(
+    tmp_path, monkeypatch, capsys
+):
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    # Pinned explicitly so an ambient REPRO_FLIGHT_DIR (the CI smoke sets
+    # one for the artifact upload) cannot redirect this test's dumps.
+    flight_dir = str(tmp_path / "flight")
+    with running(chain_federation(
+        tmp_path, telemetry_interval=0.1, flight_dir=flight_dir
+    )) as federation:
+        assert federation._flight_dir == flight_dir
+        tickets = [
+            federation.submit(
+                "a", InsertOperation(make_tuple("A1", "v{}".format(index)))
+            )
+            for index in range(4)
+        ]
+
+        # Let the cascade reach b and let b's next heartbeat flush its
+        # flight ring (the sync runs before the frame is sent, so once the
+        # coordinator has seen b commit, b's spans are on disk).
+        def b_committed():
+            federation.poll(0.05)
+            return federation.metrics().get("b", {}).get("committed", 0) >= 1
+
+        _wait_until(b_committed, message="cascade committed at b")
+
+        victim_pid = federation._handles["b"].process.pid
+        os.kill(victim_pid, signal.SIGKILL)
+
+        # Visibility: the watchdog must report b dead — via control-channel
+        # EOF, which lands well within two heartbeat intervals.
+        _wait_until(
+            lambda: (federation.poll(0.05) or True)
+            and federation.liveness()["b"]["state"] == DEAD,
+            message="watchdog death verdict after SIGKILL",
+        )
+        assert federation.liveness()["b"]["reason"].startswith("eof")
+
+        # The victim's flight segments survived the kill (flushed at its
+        # last heartbeat — SIGKILL leaves no dump marker, only the ring).
+        victim_files = [
+            path for path in flight_paths(flight_dir)
+            if os.path.basename(path).startswith("flight-b-")
+        ]
+        assert victim_files, "no flight segments for the killed peer"
+        victim_spans = load_flight_spans(victim_files)
+        assert victim_spans, "flight segments carry no span records"
+        assert any(span.peer == "b" for span in victim_spans)
+
+        # Fold the survivors' exports and the postmortem spans together:
+        # the causal chain of b's remotely-absorbed work must cross both
+        # peers even though b never exported a trace.
+        export_paths = federation.export_traces()
+        merged = merge_spans(load_spans(export_paths), victim_spans)
+        analysis = TraceAnalysis(merged)
+        chains = analysis.cross_peer_chains()
+        assert chains, "no cross-peer chain reconstructed from the wreck"
+        peers_seen = set()
+        for chain in chains:
+            peers_seen.update(span.peer for span in chain if span.peer)
+        assert {"a", "b"} <= peers_seen
+
+        # And the CLI folds the same wreckage without error.
+        assert trace_cli.main(list(export_paths) + ["--flight", flight_dir]) == 0
+        assert "spans:" in capsys.readouterr().out
+
+        # The coordinator itself stayed serviceable: a's tickets finished.
+        assert all(
+            ticket.is_done for ticket in tickets if ticket.target == "a"
+        )
