@@ -40,6 +40,8 @@ TRACKED = (
         ("federation_sockets", "payloads_per_frame"),
     ),
     ("telemetry_overhead.on_vs_off", ("telemetry_overhead", "on_vs_off")),
+    ("sql_chase.speedup", ("sql_chase", "speedup")),
+    ("sql_chase.bulk_load.speedup", ("sql_chase", "bulk_load", "speedup")),
 )
 
 

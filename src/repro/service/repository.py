@@ -95,6 +95,7 @@ class RepositoryService:
         first_decision_id: int = 1,
         tracer=None,
         trace_peer: str = "",
+        sql_chase: Optional[object] = None,
     ):
         if isinstance(tracker, str):
             tracker = make_tracker(tracker)
@@ -126,6 +127,7 @@ class RepositoryService:
             group_commit=group_commit,
             tracer=self._tracer,
             trace_peer=trace_peer,
+            sql_chase=sql_chase,
         )
         self._scheduler.add_restart_listener(self._on_restart)
         self._queue = AdmissionQueue(admission)

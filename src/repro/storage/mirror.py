@@ -1,0 +1,364 @@
+"""The delta mirror: an incrementally synchronized SQLite shadow of a store.
+
+The SQL chase path (:mod:`repro.query.sql_chase`) evaluates violation queries
+set-based inside SQLite, which needs the store's contents as SQL tables.
+Reloading them per query (or per chase step) would drown the win; this mirror
+keeps the shadow synchronized *incrementally* — the HTAP replica idiom:
+
+* **Versioned mode** (:meth:`attach_store`): the mirror holds the store's
+  *committed baseline*.  :meth:`VersionedDatabase.compact_below` pushes the
+  newly committed priorities' write-log entries here (seq-sorted) just before
+  dropping them; :meth:`sync` replays them onto the baseline and flushes the
+  net row changes in **one** SQLite transaction with ``executemany`` — never a
+  full reload.  Rollbacks need no mirror work (only committed entries are ever
+  pushed), and with compaction disabled the mirror simply stays at the initial
+  baseline while :meth:`delta_for` picks the committed-but-uncompacted
+  priorities up from the log — correctness never depends on compaction.
+  A reader at priority *j* then sees *baseline + delta_for(j)*: per touched
+  tuple identity the visible content is compared against the baseline content,
+  with whole-view containment checks restoring set semantics across
+  identities (several tids can carry equal row values; the mirror refcounts).
+* **Direct mode** (:meth:`reset_from` + :meth:`apply_writes_direct`): the
+  single-version :class:`~repro.core.chase.ChaseEngine` resets the shadow at
+  the start of each run (its database may have been mutated externally in
+  between) and applies each step's effective writes as it goes; the delta is
+  always empty.
+
+Tables are created with per-attribute indexes
+(:func:`~repro.query.sql.create_index_statements` — always on here: the
+violation joins constrain arbitrary attribute pairs) and the connection runs
+``synchronous = OFF`` in autocommit with explicit ``BEGIN``/``COMMIT`` around
+every batch, mirroring the reworked SQLite backend's discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple as PyTuple
+
+import sqlite3
+
+from ..codec.rows import decode_row, encode_row
+from ..core.schema import DatabaseSchema
+from ..core.tuples import Tuple
+from ..core.writes import Write, WriteKind
+from ..query.sql import (
+    create_index_statements,
+    create_table_statement,
+    quote_identifier,
+)
+from .interface import DatabaseView
+
+__all__ = ["DeltaMirror"]
+
+
+class DeltaMirror:
+    """A SQLite shadow of a repository, synchronized incrementally."""
+
+    def __init__(self, schema: DatabaseSchema):
+        self._schema = schema
+        self._connection = sqlite3.connect(":memory:")
+        self._connection.isolation_level = None
+        self._connection.execute("PRAGMA synchronous = OFF")
+        self._connection.execute("BEGIN")
+        for relation in schema.relation_names():
+            self._connection.execute(create_table_statement(schema, relation))
+            for statement in create_index_statements(schema, relation):
+                self._connection.execute(statement)
+        self._connection.execute("COMMIT")
+        #: Row value -> number of justifications currently mirrored.  A row
+        #: is physically present in its table iff its count is positive; the
+        #: count tracks how many tuple identities (versioned mode) or bare
+        #: presences (direct mode: 0/1) carry the value, so a DELETE only
+        #: fires when the last justification disappears.
+        self._row_counts: Dict[Tuple, int] = {}
+        # ---- versioned mode ----
+        self._store = None
+        #: tid -> committed baseline content (``None`` = committed deletion).
+        self._baseline_rows: Dict[int, Optional[Tuple]] = {}
+        #: tid -> highest seq applied to the baseline.  Commit pushes arrive
+        #: seq-sorted *per push*, but a tuple touched by several committing
+        #: priorities can see its entries split across pushes out of seq
+        #: order; max-seq-wins keeps the baseline at the newest committed
+        #: version regardless of push interleaving.
+        self._baseline_seqs: Dict[int, int] = {}
+        self._pending: List = []
+        #: delta_for memo, valid for one store mutation stamp at a time.
+        self._memo_stamp: Optional[int] = None
+        self._delta_memo: Dict[float, Dict] = {}
+        # ---- introspection ----
+        self.syncs = 0
+        self.rows_inserted = 0
+        self.rows_deleted = 0
+        self.entries_applied = 0
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The mirrored schema."""
+        return self._schema
+
+    def execute(self, sql: str, parameters: Iterable[str] = ()):
+        """Run one statement on the mirror connection (reads, mostly)."""
+        return self._connection.execute(sql, tuple(parameters))
+
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self._connection.close()
+
+    # ------------------------------------------------------------------
+    # Shared row-presence bookkeeping
+    # ------------------------------------------------------------------
+    def _acquire(self, row: Tuple, inserts: Dict[str, List]) -> None:
+        count = self._row_counts.get(row, 0)
+        self._row_counts[row] = count + 1
+        if count == 0:
+            inserts.setdefault(row.relation, []).append(encode_row(row))
+
+    def _release(self, row: Tuple, deletes: Dict[str, List]) -> None:
+        count = self._row_counts.get(row, 0)
+        if count <= 0:
+            return
+        if count == 1:
+            del self._row_counts[row]
+            deletes.setdefault(row.relation, []).append(encode_row(row))
+        else:
+            self._row_counts[row] = count - 1
+
+    def _flush(self, deletes: Dict[str, List], inserts: Dict[str, List]) -> None:
+        """Apply batched row changes in one transaction.
+
+        Presence-diff semantics make ordering across the two maps irrelevant:
+        a row never appears in both (acquire/release coalesce transients), so
+        all deletes run before all inserts.
+        """
+        if not deletes and not inserts:
+            return
+        self._connection.execute("BEGIN")
+        try:
+            for relation, encoded_rows in deletes.items():
+                attributes = self._schema.relation(relation).attributes
+                predicate = " AND ".join(
+                    "{} = ?".format(quote_identifier(attribute))
+                    for attribute in attributes
+                )
+                self._connection.executemany(
+                    "DELETE FROM {} WHERE {}".format(
+                        quote_identifier(relation), predicate
+                    ),
+                    encoded_rows,
+                )
+                self.rows_deleted += len(encoded_rows)
+            for relation, encoded_rows in inserts.items():
+                attributes = self._schema.relation(relation).attributes
+                placeholders = ", ".join("?" for _ in attributes)
+                self._connection.executemany(
+                    "INSERT INTO {} VALUES ({})".format(
+                        quote_identifier(relation), placeholders
+                    ),
+                    encoded_rows,
+                )
+                self.rows_inserted += len(encoded_rows)
+        except BaseException:
+            self._connection.execute("ROLLBACK")
+            raise
+        self._connection.execute("COMMIT")
+
+    # ------------------------------------------------------------------
+    # Direct mode (single-version databases; the ChaseEngine)
+    # ------------------------------------------------------------------
+    def reset_from(self, view: DatabaseView) -> None:
+        """Replace the mirror's contents with *view*'s (bulk, one transaction)."""
+        self._row_counts.clear()
+        self._connection.execute("BEGIN")
+        try:
+            for relation in self._schema.relation_names():
+                self._connection.execute(
+                    "DELETE FROM {}".format(quote_identifier(relation))
+                )
+                batch = []
+                for row in view.tuples(relation):
+                    if row in self._row_counts:
+                        continue
+                    self._row_counts[row] = 1
+                    batch.append(encode_row(row))
+                if batch:
+                    placeholders = ", ".join(
+                        "?" for _ in self._schema.relation(relation).attributes
+                    )
+                    self._connection.executemany(
+                        "INSERT INTO {} VALUES ({})".format(
+                            quote_identifier(relation), placeholders
+                        ),
+                        batch,
+                    )
+                    self.rows_inserted += len(batch)
+        except BaseException:
+            self._connection.execute("ROLLBACK")
+            raise
+        self._connection.execute("COMMIT")
+
+    def apply_writes_direct(self, writes: Iterable[Write]) -> None:
+        """Mirror one chase step's *effective* writes (direct mode).
+
+        Matches :meth:`ChaseEngine._apply_writes` semantics: a MODIFY is
+        "delete the old content, insert the new" (the insert may be a no-op
+        when the new content already exists elsewhere).
+        """
+        deletes: Dict[str, List] = {}
+        inserts: Dict[str, List] = {}
+        for write in writes:
+            if write.kind is WriteKind.DELETE:
+                self._release(write.row, deletes)
+            elif write.kind is WriteKind.INSERT:
+                self._acquire_if_absent(write.row, inserts)
+            else:
+                if write.old_row is not None:
+                    self._release(write.old_row, deletes)
+                self._acquire_if_absent(write.row, inserts)
+        self._flush(deletes, inserts)
+
+    def _acquire_if_absent(self, row: Tuple, inserts: Dict[str, List]) -> None:
+        """Direct-mode insert: presence is 0/1, re-inserts are no-ops."""
+        if self._row_counts.get(row, 0) == 0:
+            self._acquire(row, inserts)
+
+    # ------------------------------------------------------------------
+    # Versioned mode (the multiversion store; schedulers and the service)
+    # ------------------------------------------------------------------
+    def attach_store(self, store, watermark: float = 0) -> None:
+        """Mirror *store*'s committed baseline and subscribe to its commits.
+
+        The baseline is loaded from the committed versions at *watermark*
+        (priority 0 — the initial, unlogged contents — for a store attached
+        at construction, the usual case); from then on the store pushes each
+        compaction's committed log entries through :meth:`enqueue_committed`.
+        """
+        self._store = store
+        inserts: Dict[str, List] = {}
+        for tid, version in store.committed_versions(watermark):
+            self._baseline_seqs[tid] = version.seq
+            if version.content is not None:
+                self._baseline_rows[tid] = version.content
+                self._acquire(version.content, inserts)
+        self._flush({}, inserts)
+        store.attach_chase_mirror(self)
+
+    def enqueue_committed(self, entries) -> None:
+        """Store callback: newly committed log entries (seq-sorted per push)."""
+        self._pending.extend(entries)
+
+    def sync(self) -> int:
+        """Replay pending committed entries onto the baseline; returns count.
+
+        The net row changes (presence-diff across the whole batch: a row
+        transiently deleted and re-created inside one batch touches SQLite
+        zero times) land in one ``BEGIN``/``COMMIT`` with ``executemany``.
+        """
+        if not self._pending:
+            return 0
+        entries, self._pending = self._pending, []
+        deletes: Dict[str, List] = {}
+        inserts: Dict[str, List] = {}
+        for entry in entries:
+            tid = entry.tid
+            if entry.seq <= self._baseline_seqs.get(tid, 0):
+                continue  # an older version of a tuple already advanced past
+            self._baseline_seqs[tid] = entry.seq
+            if entry.write.kind is WriteKind.DELETE:
+                new_content = None
+            else:
+                new_content = entry.write.row
+            old_content = self._baseline_rows.get(tid)
+            if old_content == new_content:
+                continue
+            if old_content is not None:
+                self._release(old_content, deletes)
+            if new_content is not None:
+                self._baseline_rows[tid] = new_content
+                self._acquire(new_content, inserts)
+            else:
+                self._baseline_rows[tid] = None
+            self.entries_applied += 1
+        self._flush(deletes, inserts)
+        self.syncs += 1
+        return len(entries)
+
+    def delta_for(self, priority: float) -> Dict[str, PyTuple[List, List]]:
+        """The reader-visible delta vs the baseline: relation -> (removed, added).
+
+        A reader at *priority* over the store sees exactly
+        ``(mirror - removed) + added``.  Candidates are the tuple identities
+        touched by any logged priority ≤ *priority* (in-flight writes, plus
+        committed-but-uncompacted ones); per candidate the visible content is
+        compared with the baseline content, and whole-view containment checks
+        settle set semantics across identities.  Memoized per (store mutation
+        stamp, priority) — one chase step asks for many mappings' queries.
+        """
+        store = self._store
+        self.sync()
+        stamp = store.mutation_stamp()
+        if self._memo_stamp != stamp:
+            self._delta_memo.clear()
+            self._memo_stamp = stamp
+        cached = self._delta_memo.get(priority)
+        if cached is not None:
+            return cached
+        view = store.view_for(priority)
+        tids: Set[int] = set()
+        for logged_priority in store.priorities_in_log():
+            if logged_priority <= priority:
+                for entry in store.writes_by(logged_priority):
+                    tids.add(entry.tid)
+        removed_candidates: Set[Tuple] = set()
+        added_candidates: Set[Tuple] = set()
+        for tid in tids:
+            baseline = self._baseline_rows.get(tid)
+            visible = store.visible_content_of(tid, priority)
+            if baseline == visible:
+                continue
+            if baseline is not None:
+                removed_candidates.add(baseline)
+            if visible is not None:
+                added_candidates.add(visible)
+        delta: Dict[str, PyTuple[List, List]] = {}
+        for row in removed_candidates:
+            # Removed for this reader iff no identity keeps it visible *and*
+            # the mirror actually has it (another tid may share the value).
+            if self._row_counts.get(row, 0) > 0 and not view.contains(row):
+                delta.setdefault(row.relation, ([], []))[0].append(row)
+        for row in added_candidates:
+            # Visible through some identity; an addition only if the mirrored
+            # table does not already carry the value.
+            if self._row_counts.get(row, 0) == 0:
+                delta.setdefault(row.relation, ([], []))[1].append(row)
+        for removed, added in delta.values():
+            removed.sort(key=encode_row)
+            added.sort(key=encode_row)
+        self._delta_memo[priority] = delta
+        return delta
+
+    # ------------------------------------------------------------------
+    # The evaluator's entry point
+    # ------------------------------------------------------------------
+    def delta_for_view(self, view) -> Dict[str, PyTuple[List, List]]:
+        """The delta the SQL evaluator must apply for *view*.
+
+        Versioned mode reads the view's visibility priority; direct mode is
+        kept exactly synchronized by the engine, so the delta is empty.
+        """
+        if self._store is not None:
+            return self.delta_for(view.priority)
+        return {}
+
+    # ------------------------------------------------------------------
+    # Introspection (tests and benches)
+    # ------------------------------------------------------------------
+    def mirrored_rows(self, relation: str) -> FrozenSet[Tuple]:
+        """The rows currently stored in *relation*'s shadow table."""
+        cursor = self._connection.execute(
+            "SELECT * FROM {}".format(quote_identifier(relation))
+        )
+        return frozenset(decode_row(relation, fields) for fields in cursor.fetchall())
+
+    def pending_entries(self) -> int:
+        """Committed entries pushed but not yet applied by :meth:`sync`."""
+        return len(self._pending)

@@ -15,11 +15,20 @@ It serves two purposes:
   store, so the chase engine can use it directly), and
 * it is used by tests to cross-check the in-memory query evaluator against
   SQLite on the same data.
+
+Transaction discipline: the connection runs in autocommit mode
+(``isolation_level=None``) so single-row writes are one statement with no
+per-row ``commit()`` round-trip, and every bulk operation — :meth:`load_from`,
+:meth:`replace_null` — wraps its statements in one explicit ``BEGIN``/
+``COMMIT`` pair with ``executemany`` batching.  The historical per-row-commit
+path made bulk loading O(transactions); the speedup is asserted by
+``benchmarks/test_sql_chase.py``.
 """
 
 from __future__ import annotations
 
 import sqlite3
+from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..codec.rows import decode_row, decode_term, encode_row, encode_term
@@ -30,6 +39,7 @@ from ..core.tgd import Tgd
 from ..core.tuples import Tuple
 from ..query.sql import (
     conjunctive_query_sql,
+    create_index_statements,
     create_table_statement,
     quote_identifier,
     violation_query_sql,
@@ -38,15 +48,44 @@ from .interface import DatabaseView, MutableDatabase
 
 
 class SQLiteDatabase(MutableDatabase):
-    """A repository stored in an SQLite database (in-memory by default)."""
+    """A repository stored in an SQLite database (in-memory by default).
 
-    def __init__(self, schema: DatabaseSchema, path: str = ":memory:"):
+    ``create_indexes=True`` additionally creates one index per attribute
+    (the :func:`~repro.query.sql.create_index_statements` companion DDL);
+    the flag is off by default so the table DDL and query plans of existing
+    callers are untouched.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        path: str = ":memory:",
+        create_indexes: bool = False,
+    ):
         self._schema = schema
         self._connection = sqlite3.connect(path)
+        # Autocommit mode: the explicit BEGIN/COMMIT discipline below is the
+        # only transaction control, so single statements never pay an extra
+        # commit round-trip.
+        self._connection.isolation_level = None
         self._connection.execute("PRAGMA synchronous = OFF")
-        for relation in schema.relation_names():
-            self._connection.execute(create_table_statement(schema, relation))
-        self._connection.commit()
+        with self._transaction():
+            for relation in schema.relation_names():
+                self._connection.execute(create_table_statement(schema, relation))
+                if create_indexes:
+                    for statement in create_index_statements(schema, relation):
+                        self._connection.execute(statement)
+
+    @contextmanager
+    def _transaction(self):
+        """Run several statements as one explicit transaction."""
+        self._connection.execute("BEGIN")
+        try:
+            yield
+        except BaseException:
+            self._connection.execute("ROLLBACK")
+            raise
+        self._connection.execute("COMMIT")
 
     # ------------------------------------------------------------------
     # DatabaseView
@@ -112,7 +151,6 @@ class SQLiteDatabase(MutableDatabase):
             ),
             encode_row(row),
         )
-        self._connection.commit()
         return True
 
     def delete(self, row: Tuple) -> bool:
@@ -123,32 +161,46 @@ class SQLiteDatabase(MutableDatabase):
             "DELETE FROM {} WHERE {}".format(quote_identifier(row.relation), where),
             parameters,
         )
-        self._connection.commit()
         return True
 
     def replace_null(self, null: LabeledNull, value: DataTerm) -> List[Tuple]:
         modified: List[Tuple] = []
         encoded_null = encode_term(null)
         encoded_value = encode_term(value)
-        for relation in self._schema.relation_names():
-            relation_schema = self._schema.relation(relation)
-            for attribute in relation_schema.attributes:
-                self._connection.execute(
-                    "UPDATE {} SET {} = ? WHERE {} = ?".format(
-                        quote_identifier(relation),
-                        quote_identifier(attribute),
-                        quote_identifier(attribute),
-                    ),
-                    (encoded_value, encoded_null),
+        substitution = {null: value}
+        with self._transaction():
+            for relation in self._schema.relation_names():
+                attributes = self._schema.relation(relation).attributes
+                # Collect the affected rows *before* the UPDATE — one SELECT
+                # per relation filtered on the encoded null — instead of
+                # rescanning every relation afterwards to guess which rows
+                # now carry the replacement value.
+                predicate = " OR ".join(
+                    "{} = ?".format(quote_identifier(attribute))
+                    for attribute in attributes
                 )
-        self._connection.commit()
-        # Report the rewritten rows (those now carrying the replacement value
-        # in at least one column).  A full scan is acceptable here: null
-        # replacement is a user-level operation, not an inner-loop one.
-        for relation in self._schema.relation_names():
-            for row in self.tuples(relation):
-                if value in row.values and not row.contains_null(null):
-                    modified.append(row)
+                cursor = self._connection.execute(
+                    "SELECT DISTINCT * FROM {} WHERE {}".format(
+                        quote_identifier(relation), predicate
+                    ),
+                    [encoded_null] * len(attributes),
+                )
+                affected = cursor.fetchall()
+                if not affected:
+                    continue
+                for attribute in attributes:
+                    self._connection.execute(
+                        "UPDATE {} SET {} = ? WHERE {} = ?".format(
+                            quote_identifier(relation),
+                            quote_identifier(attribute),
+                            quote_identifier(attribute),
+                        ),
+                        (encoded_value, encoded_null),
+                    )
+                for fields in affected:
+                    modified.append(
+                        decode_row(relation, fields).substitute(substitution)
+                    )
         return modified
 
     def snapshot(self) -> DatabaseView:
@@ -163,10 +215,36 @@ class SQLiteDatabase(MutableDatabase):
     # Bulk loading and SQL-level query evaluation
     # ------------------------------------------------------------------
     def load_from(self, view: DatabaseView) -> None:
-        """Copy every tuple of *view* into the SQLite mirror."""
-        for relation in view.relations():
-            for row in view.tuples(relation):
-                self.insert(row)
+        """Copy every tuple of *view* into the SQLite mirror.
+
+        One transaction, one ``executemany`` per relation.  The per-row
+        ``WHERE NOT EXISTS`` guard preserves set semantics against whatever
+        the table already holds (and against earlier rows of the same batch),
+        so the result is identical to the historical insert-per-row loop.
+        """
+        with self._transaction():
+            for relation in view.relations():
+                relation_schema = self._schema.relation(relation)
+                placeholders = ", ".join("?" for _ in relation_schema.attributes)
+                guard = " AND ".join(
+                    "{} = ?".format(quote_identifier(attribute))
+                    for attribute in relation_schema.attributes
+                )
+                statement = (
+                    "INSERT INTO {table} SELECT {placeholders} "
+                    "WHERE NOT EXISTS (SELECT 1 FROM {table} WHERE {guard})"
+                ).format(
+                    table=quote_identifier(relation),
+                    placeholders=placeholders,
+                    guard=guard,
+                )
+                batch = []
+                for row in view.tuples(relation):
+                    self._schema.validate_tuple(row)
+                    encoded = encode_row(row)
+                    batch.append(encoded + encoded)
+                if batch:
+                    self._connection.executemany(statement, batch)
 
     def evaluate_conjunctive_sql(
         self,

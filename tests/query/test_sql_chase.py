@@ -1,0 +1,325 @@
+"""Differential tests: the set-based SQL chase against the Python evaluator.
+
+The SQL path (``SqlViolationEvaluator`` over a ``DeltaMirror``) must return
+exactly the ``frozenset`` of ``ViolationRow`` the Python ``ViolationQuery``
+produces — bindings *and* witnesses — on full queries, seeded queries,
+labeled-null-heavy stores, and delta-restricted reads over the multiversion
+store.  The chase engine itself must be bit-identical with the flag on or off.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DeleteOperation, InsertOperation, RandomOracle
+from repro.core.chase import ChaseConfig, ChaseEngine
+from repro.core.terms import LabeledNull
+from repro.core.tuples import Tuple, make_tuple
+from repro.core.writes import delete, insert
+from repro.fixtures import travel_repository
+from repro.query.sql_chase import (
+    SqlChaseDivergence,
+    SqlViolationEvaluator,
+    resolve_sql_chase,
+)
+from repro.query.violation_query import (
+    ViolationQuery,
+    violation_queries_for_write_row,
+)
+from repro.storage.memory import MemoryDatabase
+from repro.storage.mirror import DeltaMirror
+from repro.storage.versioned import VersionedDatabase
+from repro.workload.mapping_gen import generate_mappings
+from repro.workload.schema_gen import generate_constant_pool, generate_schema
+
+
+def _random_row(schema, pool, rng, relation=None, null_density=0.2):
+    if relation is None:
+        relation = rng.choice(schema.relation_names())
+    values = [
+        LabeledNull("n{}".format(rng.randint(1, 4)))
+        if rng.random() < null_density
+        else rng.choice(pool)
+        for _ in range(schema.arity_of(relation))
+    ]
+    return Tuple(relation, values)
+
+
+def _random_environment(seed, null_density=0.2, rows=60):
+    rng = random.Random(seed)
+    schema = generate_schema(num_relations=4, max_arity=3, rng=rng)
+    pool = generate_constant_pool(size=6, rng=rng)
+    mappings = generate_mappings(schema, 5, rng=rng, constant_pool=pool)
+    database = MemoryDatabase(schema)
+    for _ in range(rows):
+        database.insert(_random_row(schema, pool, rng, null_density=null_density))
+    return rng, schema, pool, mappings, database
+
+
+def _direct_evaluator(database):
+    mirror = DeltaMirror(database.schema)
+    mirror.reset_from(database)
+    return SqlViolationEvaluator(mirror), mirror
+
+
+class TestResolveFlag:
+    def test_off_spellings(self):
+        for setting in ("", "0", "false", "off", "no", False, 0):
+            assert resolve_sql_chase(setting) == ""
+
+    def test_on_and_check_spellings(self):
+        assert resolve_sql_chase("1") == "on"
+        assert resolve_sql_chase("on") == "on"
+        assert resolve_sql_chase(True) == "on"
+        for setting in ("check", "differential", "diff", " CHECK "):
+            assert resolve_sql_chase(setting) == "check"
+
+    def test_none_defers_to_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SQL_CHASE", raising=False)
+        assert resolve_sql_chase(None) == ""
+        monkeypatch.setenv("REPRO_SQL_CHASE", "1")
+        assert resolve_sql_chase(None) == "on"
+        monkeypatch.setenv("REPRO_SQL_CHASE", "check")
+        assert resolve_sql_chase(None) == "check"
+
+
+class TestDirectDifferential:
+    @pytest.mark.parametrize("seed", [7, 21, 99])
+    def test_randomized_full_queries(self, seed):
+        _, _, _, mappings, database = _random_environment(seed)
+        evaluator, mirror = _direct_evaluator(database)
+        for tgd in mappings:
+            query = ViolationQuery(tgd)
+            assert evaluator.evaluate(query, database) == query.evaluate(database)
+        mirror.close()
+
+    @pytest.mark.parametrize("seed", [5, 42])
+    def test_randomized_seeded_queries(self, seed):
+        rng, schema, pool, mappings, database = _random_environment(seed)
+        evaluator, mirror = _direct_evaluator(database)
+        rows = [_random_row(schema, pool, rng) for _ in range(10)]
+        rows += [
+            row
+            for relation in schema.relation_names()
+            for row in list(database.tuples(relation))[:3]
+        ]
+        checked = 0
+        for row in rows:
+            for tgd in mappings:
+                for removed in (False, True):
+                    for query in violation_queries_for_write_row(
+                        tgd, row, removed=removed
+                    ):
+                        assert evaluator.evaluate(query, database) == query.evaluate(
+                            database
+                        )
+                        checked += 1
+        assert checked > 0
+        mirror.close()
+
+    def test_labeled_null_heavy_store(self):
+        _, _, _, mappings, database = _random_environment(13, null_density=0.6)
+        evaluator, mirror = _direct_evaluator(database)
+        for tgd in mappings:
+            query = ViolationQuery(tgd)
+            assert evaluator.evaluate(query, database) == query.evaluate(database)
+        mirror.close()
+
+    def test_travel_fixture_after_mutations(self):
+        database, mappings = travel_repository()
+        evaluator, mirror = _direct_evaluator(database)
+        for tgd in mappings:
+            query = ViolationQuery(tgd)
+            assert evaluator.evaluate(query, database) == frozenset()
+        # Mutate the database, re-shadow (the direct-mode contract), re-check.
+        database.delete(make_tuple("R", "XYZ", "Geneva Winery", "Great!"))
+        database.insert(make_tuple("T", "Niagara Falls", "ABC Tours", "Toronto"))
+        mirror.reset_from(database)
+        found = 0
+        for tgd in mappings:
+            query = ViolationQuery(tgd)
+            answer = evaluator.evaluate(query, database)
+            assert answer == query.evaluate(database)
+            found += len(answer)
+        assert found > 0  # the delete and the insert both violate mappings
+        mirror.close()
+
+
+class TestStatementCache:
+    def test_repeat_evaluations_reuse_the_skeleton(self):
+        database, mappings = travel_repository()
+        evaluator, mirror = _direct_evaluator(database)
+        query = ViolationQuery(next(iter(mappings)))
+        evaluator.evaluate(query, database)
+        assert evaluator.statements_rendered == 1
+        assert evaluator.statement_cache_hits == 0
+        evaluator.evaluate(query, database)
+        evaluator.evaluate(query, database)
+        assert evaluator.statements_rendered == 1
+        assert evaluator.statement_cache_hits == 2
+        mirror.close()
+
+    def test_seed_values_share_one_skeleton(self):
+        database, mappings = travel_repository()
+        evaluator, mirror = _direct_evaluator(database)
+        tgd = mappings.by_name("sigma3")
+        rows = [
+            make_tuple("A", "Geneva", "Geneva Winery"),
+            make_tuple("A", "Trumansburg", "Taughannock Falls"),
+        ]
+        rendered = set()
+        for row in rows:
+            for query in violation_queries_for_write_row(tgd, row, removed=False):
+                assert evaluator.evaluate(query, database) == query.evaluate(database)
+                rendered.add(evaluator.statements_rendered)
+        # Same seed-variable set, different seed values: one skeleton total.
+        assert evaluator.statements_rendered == 1
+        assert evaluator.statement_cache_hits >= 1
+        mirror.close()
+
+
+def _versioned_travel():
+    database, mappings = travel_repository()
+    store = VersionedDatabase(database.schema)
+    store.load_initial(database.snapshot())
+    mirror = DeltaMirror(store.schema)
+    mirror.attach_store(store)
+    return store, mappings, mirror
+
+
+def _assert_agreement(evaluator, mappings, view):
+    for tgd in mappings:
+        query = ViolationQuery(tgd)
+        assert evaluator.evaluate(query, view) == query.evaluate(view)
+
+
+class TestVersionedDelta:
+    def test_delta_restricted_reads_agree_per_priority(self):
+        store, mappings, mirror = _versioned_travel()
+        evaluator = SqlViolationEvaluator(mirror)
+        store.apply_writes(
+            [insert(make_tuple("T", "Niagara Falls", "ABC Tours", "Toronto"))], 1
+        )
+        store.apply_writes(
+            [delete(make_tuple("R", "XYZ", "Geneva Winery", "Great!"))], 2
+        )
+        store.apply_writes(
+            [
+                insert(make_tuple("A", "Toronto", "Niagara Falls")),
+                delete(make_tuple("A", "Geneva", "Geneva Winery")),
+            ],
+            3,
+        )
+        for priority in (0, 1, 2, 3):
+            _assert_agreement(evaluator, mappings, store.view_for(priority))
+        assert evaluator.evaluations > 0
+        mirror.close()
+
+    def test_rollback_and_compaction_keep_agreement(self):
+        store, mappings, mirror = _versioned_travel()
+        evaluator = SqlViolationEvaluator(mirror)
+        store.apply_writes(
+            [insert(make_tuple("T", "Niagara Falls", "ABC Tours", "Toronto"))], 1
+        )
+        store.apply_writes(
+            [delete(make_tuple("R", "XYZ", "Geneva Winery", "Great!"))], 2
+        )
+        store.rollback(2)
+        for priority in (0, 1):
+            _assert_agreement(evaluator, mappings, store.view_for(priority))
+        store.compact_below(1, [1])  # commit priority 1; pushes its entries
+        store.apply_writes(
+            [delete(make_tuple("A", "Geneva", "Geneva Winery"))], 4
+        )
+        for priority in (1, 3, 4):
+            _assert_agreement(evaluator, mappings, store.view_for(priority))
+        assert mirror.syncs > 0
+        assert mirror.entries_applied > 0
+        mirror.close()
+
+    @pytest.mark.parametrize("seed", [11, 77])
+    def test_randomized_versioned_histories(self, seed):
+        rng = random.Random(seed)
+        schema = generate_schema(num_relations=4, max_arity=3, rng=rng)
+        pool = generate_constant_pool(size=6, rng=rng)
+        mappings = generate_mappings(schema, 5, rng=rng, constant_pool=pool)
+        initial = MemoryDatabase(schema)
+        for _ in range(40):
+            initial.insert(_random_row(schema, pool, rng))
+        store = VersionedDatabase(schema)
+        store.load_initial(initial.snapshot())
+        mirror = DeltaMirror(schema)
+        mirror.attach_store(store)
+        evaluator = SqlViolationEvaluator(mirror)
+        watermark = 0
+        in_flight = []
+        for priority in range(1, 9):
+            writes = []
+            for _ in range(rng.randint(1, 3)):
+                visible = list(
+                    store.view_for(priority).tuples(rng.choice(schema.relation_names()))
+                )
+                if visible and rng.random() < 0.4:
+                    writes.append(delete(rng.choice(visible)))
+                else:
+                    writes.append(insert(_random_row(schema, pool, rng)))
+            store.apply_writes(writes, priority)
+            in_flight.append(priority)
+            action = rng.random()
+            if action < 0.3 and in_flight:
+                committed = in_flight.pop(0)
+                watermark = committed
+                store.compact_below(watermark, [committed])
+            elif action < 0.45 and in_flight:
+                store.rollback(in_flight.pop())
+            for probe in [watermark] + in_flight:
+                _assert_agreement(evaluator, mappings, store.view_for(probe))
+        mirror.close()
+
+
+class TestChaseEngineFlag:
+    def _operations(self):
+        return [
+            InsertOperation(make_tuple("T", "Niagara Falls", "ABC Tours", "Toronto")),
+            DeleteOperation(make_tuple("R", "XYZ", "Geneva Winery", "Great!")),
+            InsertOperation(make_tuple("A", "Watkins Glen", "Watkins Glen")),
+        ]
+
+    def _run(self, sql_chase):
+        database, mappings = travel_repository()
+        engine = ChaseEngine(
+            database,
+            mappings,
+            oracle=RandomOracle(seed=0),
+            config=ChaseConfig(sql_chase=sql_chase),
+        )
+        records = engine.run_all(self._operations())
+        contents = {
+            relation: frozenset(database.tuples(relation))
+            for relation in database.schema.relation_names()
+        }
+        return engine, records, contents
+
+    def test_check_mode_is_bit_identical_to_off(self):
+        _, off_records, off_contents = self._run(sql_chase=False)
+        engine, on_records, on_contents = self._run(sql_chase="check")
+        assert on_contents == off_contents
+        for off_record, on_record in zip(off_records, on_records):
+            assert on_record.status == off_record.status
+            assert on_record.steps == off_record.steps
+            assert on_record.writes == off_record.writes
+            assert on_record.violations_processed == off_record.violations_processed
+        assert engine._sql_evaluator is not None
+        assert engine._sql_evaluator.evaluations > 0
+
+    def test_divergence_raises_in_check_mode(self):
+        database, mappings = travel_repository()
+        mirror = DeltaMirror(database.schema)
+        mirror.reset_from(database)
+        evaluator = SqlViolationEvaluator(mirror, differential=True)
+        # Desynchronize the mirror on purpose: the differential must notice.
+        database.delete(make_tuple("R", "XYZ", "Geneva Winery", "Great!"))
+        with pytest.raises(SqlChaseDivergence):
+            for tgd in mappings:
+                evaluator.evaluate(ViolationQuery(tgd), database)
+        mirror.close()
