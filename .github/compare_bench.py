@@ -40,6 +40,11 @@ TRACKED = (
         ("federation_sockets", "payloads_per_frame"),
     ),
     ("telemetry_overhead.on_vs_off", ("telemetry_overhead", "on_vs_off")),
+    ("drain_protocol.drain_speedup", ("drain_protocol", "drain_speedup")),
+    (
+        "drain_protocol.staging_window.committed_per_second",
+        ("drain_protocol", "staging_window", "committed_per_second"),
+    ),
     ("sql_chase.speedup", ("sql_chase", "speedup")),
     ("sql_chase.bulk_load.speedup", ("sql_chase", "bulk_load", "speedup")),
 )

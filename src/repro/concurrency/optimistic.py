@@ -147,6 +147,14 @@ class OptimisticScheduler:
         self.statistics = RunStatistics(algorithm=tracker.name)
 
     # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def sql_evaluator(self):
+        """The shared SQL violation evaluator (``None`` with SQL chase off)."""
+        return self._sql_evaluator
+
+    # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
     def submit(

@@ -76,6 +76,12 @@ class Peer:
         self.notices_emitted = 0
         #: Envelopes the per-batch coalescing dropped before the wire.
         self.envelopes_coalesced = 0
+        #: Monotonic activity sequence, the in-process twin of the socket
+        #: peer host's: the network advances it whenever this peer receives
+        #: a delivery, makes pump progress, or flushes its outbox.  Unchanged
+        #: seq between two observations plus conserved link watermarks means
+        #: nothing moved in between.
+        self.activity_seq = 0
         service.add_batch_commit_listener(self._on_batch_commit)
 
     # ------------------------------------------------------------------

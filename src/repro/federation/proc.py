@@ -86,7 +86,7 @@ from .envelopes import (
     QuestionOpened,
     RemoteUpdate,
 )
-from .exchange import ExchangeRules, FederationError
+from .exchange import ExchangeRules, FederationError, coalesce_envelopes
 from .operations import RemoteFiringOperation, RemoteRetractionOperation
 from .peer import Peer
 from .socket_transport import (
@@ -96,6 +96,7 @@ from .socket_transport import (
     OutgoingLink,
     SocketAddress,
     SocketTransportError,
+    StagingWindow,
     monotonic,
 )
 from .transport import Bundle
@@ -151,6 +152,9 @@ def encode_peer_config(
     telemetry_interval: float = 0.0,
     flight_dir: Optional[str] = None,
     flight_capacity: int = 512,
+    stage_rounds: int = 1,
+    stage_bytes: int = 0,
+    stage_delay: float = 0.0,
 ) -> bytes:
     """One peer's complete startup description, as canonical codec JSON.
 
@@ -189,6 +193,9 @@ def encode_peer_config(
         "telemetry_interval": telemetry_interval,
         "flight_dir": flight_dir,
         "flight_capacity": flight_capacity,
+        "stage_rounds": stage_rounds,
+        "stage_bytes": stage_bytes,
+        "stage_delay": stage_delay,
     }
     return dumps(body) + b"\n"
 
@@ -262,6 +269,17 @@ class PeerHost:
             self._links[peer] = OutgoingLink(
                 peer, address, delay=link_delay, rng=rng
             )
+        #: The adaptive envelope staging window (K pump rounds / B bytes /
+        #: T seconds, whichever trips first).  Default knobs make it a
+        #: passthrough: ``_stage_outbox`` keeps today's immediate-enqueue
+        #: path bit for bit.
+        self._staging = StagingWindow(
+            rounds=int(config.get("stage_rounds") or 1),
+            max_bytes=int(config.get("stage_bytes") or 0),
+            delay=float(config.get("stage_delay") or 0.0),
+        )
+        #: Scheduler pump rounds driven so far (the window's K clock).
+        self._pump_rounds = 0
         self._hello = encode_frame(
             FRAME_CONTROL, dumps({"t": "hello", "peer": self.name})
         )
@@ -285,6 +303,15 @@ class PeerHost:
         self.answers_dropped = 0
         self._halted = False
         self._exit = False
+        #: Monotonic activity sequence: advances whenever this peer decodes
+        #: an envelope frame, pushes frames onto a socket, makes local chase
+        #: progress, or executes a coordinator submit/answer.  The
+        #: coordinator's watermark drain compares it across observations —
+        #: unchanged seq plus conserved per-link sent/received watermarks
+        #: means nothing was in flight in between.
+        self._activity_seq = 0
+        #: The activity seq the last went-idle push reported (-1 = never).
+        self._idle_pushed_at = -1
 
         # -- telemetry + flight recorder --------------------------------
         #: Unsolicited heartbeat cadence in seconds (0 = telemetry off).
@@ -456,10 +483,12 @@ class PeerHost:
                         self._read_channel(ready)
                 if not self._halted:
                     self._work()
+                    self._flush_staged()
                     self._flush()
                 # Heartbeats keep beating while halted: a frozen-for-kill
                 # peer is still alive, and the watchdog should know.
                 self._telemetry_tick()
+                self._idle_push()
         except Exception:
             self._flight_dump(
                 "unhandled-exception", error=traceback.format_exc(limit=20)
@@ -488,6 +517,15 @@ class PeerHost:
             if self._retry or self._submit_retry:
                 # Admission frees on commits; retry shortly even without input.
                 due.append(monotonic() + 0.01)
+            if self._staging.staged_count():
+                deadline = self._staging.next_deadline()
+                if deadline is not None:
+                    due.append(deadline)
+                else:
+                    # Round/byte-triggered windows need pump rounds to keep
+                    # advancing while the sockets are silent, or a staged
+                    # batch could sit forever.
+                    due.append(monotonic() + 0.002)
         if not due:
             return None  # only control traffic matters now
         return max(0.0, min(due) - monotonic())
@@ -521,6 +559,7 @@ class PeerHost:
     # Envelope delivery (mirrors FederatedNetwork._deliver_payload)
     # ------------------------------------------------------------------
     def _handle_envelope(self, source: str, payload_bytes: bytes) -> None:
+        self._activity_seq += 1
         self.frames_received[source] = self.frames_received.get(source, 0) + 1
         if self.tracer.enabled:
             before = self.tracer.clock()
@@ -703,6 +742,7 @@ class PeerHost:
             raise FederationError("unknown control message {!r}".format(kind))
 
     def _handle_submit(self, fid: int, operation) -> None:
+        self._activity_seq += 1
         if isinstance(operation, (InsertOperation, DeleteOperation)):
             target = self.owner_of[operation.row.relation]
         else:
@@ -738,6 +778,7 @@ class PeerHost:
         ))
 
     def _handle_answer(self, body: Dict) -> None:
+        self._activity_seq += 1
         executing = body["executing"]
         decision = int(body["decision"])
         key = (executing, decision)
@@ -769,9 +810,11 @@ class PeerHost:
 
     def _handle_checkpoint(self, channel: FrameChannel, body: Dict) -> None:
         # Reach a local fixpoint, then push every queued frame out regardless
-        # of simulated link delay: the frames' contents are already decided,
-        # and a checkpoint must not strand them in a dying process.
+        # of simulated link delay or an open staging window: the frames'
+        # contents are already decided, and a checkpoint must not strand
+        # them in a dying process.
         self._work()
+        self._flush_staged(force=True)
         self._flush(force=True)
         host_extra = {
             "fed_local": sorted(
@@ -808,6 +851,7 @@ class PeerHost:
     # ------------------------------------------------------------------
     def _work(self) -> None:
         while True:
+            self._pump_rounds += 1
             progress = False
             if self._retry:
                 pending, self._retry = self._retry, []
@@ -865,6 +909,7 @@ class PeerHost:
                 progress = True
             if not progress:
                 return
+            self._activity_seq += 1
 
     def _mirror_tickets(self) -> None:
         for fid, ticket in self._fed_local.items():
@@ -877,6 +922,21 @@ class PeerHost:
             self._event({"t": "ticket", "fid": fid, "status": ticket.status.value})
 
     def _stage_outbox(self) -> None:
+        if not self._staging.passthrough:
+            # A real window is open: payloads park per-destination and wait
+            # for a K/B/T trigger in _flush_staged.  Byte sizing re-encodes
+            # the payload (the flush encodes again) — acceptable for an
+            # off-by-default knob, and only when B > 0.
+            now = monotonic()
+            for destination, payload in self.peer.outbox:
+                size = 0
+                if self._staging.max_bytes:
+                    size = len(encode_envelope(payload))
+                self._staging.stage(
+                    destination, payload, self._pump_rounds, now, size=size
+                )
+            self.peer.outbox.clear()
+            return
         order: List[str] = []
         by_destination: Dict[str, List[object]] = {}
         for destination, payload in self.peer.outbox:
@@ -886,19 +946,43 @@ class PeerHost:
             by_destination[destination].append(payload)
         self.peer.outbox.clear()
         for destination in order:
-            batch = by_destination[destination]
-            if len(batch) == 1 or not self._coalesce:
-                for payload in batch:
-                    self._enqueue_payload(destination, payload)
-            else:
-                trace = None
-                for payload in batch:
-                    trace = getattr(payload, "trace", None)
-                    if trace is not None:
-                        break
-                self._enqueue_payload(
-                    destination, Bundle(tuple(batch), trace=trace)
+            self._enqueue_batch(destination, by_destination[destination])
+
+    def _flush_staged(self, force: bool = False) -> None:
+        """Release staged batches whose window tripped (all of them, forced).
+
+        The PR 4 coalescer runs over each released batch: the window's whole
+        point is that payloads from *different* commits can now cancel/dedup
+        before framing, which per-commit coalescing in the peer cannot see.
+        """
+        if not self._staging.staged_count():
+            return
+        now = monotonic()
+        for destination in self._staging.due(self._pump_rounds, now, force=force):
+            batch = self._staging.take(destination)
+            if not batch:
+                continue
+            if self._coalesce and len(batch) > 1:
+                pairs = coalesce_envelopes(
+                    [(destination, payload) for payload in batch]
                 )
+                self.peer.envelopes_coalesced += len(batch) - len(pairs)
+                batch = [payload for _, payload in pairs]
+            self._enqueue_batch(destination, batch)
+
+    def _enqueue_batch(self, destination: str, batch: List[object]) -> None:
+        if len(batch) == 1 or not self._coalesce:
+            for payload in batch:
+                self._enqueue_payload(destination, payload)
+        else:
+            trace = None
+            for payload in batch:
+                trace = getattr(payload, "trace", None)
+                if trace is not None:
+                    break
+            self._enqueue_payload(
+                destination, Bundle(tuple(batch), trace=trace)
+            )
 
     def _enqueue_payload(self, destination: str, payload: object) -> None:
         if destination == self.name:  # pragma: no cover - rules never stage this
@@ -931,8 +1015,11 @@ class PeerHost:
 
     def _flush(self, force: bool = False) -> None:
         now = float("inf") if force else monotonic()
+        before = sum(link.frames_sent for link in self._links.values())
         for link in self._links.values():
             link.flush(now, hello=self._hello)
+        if sum(link.frames_sent for link in self._links.values()) != before:
+            self._activity_seq += 1
 
     # ------------------------------------------------------------------
     # Telemetry and the flight recorder
@@ -947,6 +1034,8 @@ class PeerHost:
             "payloads_received": self.payloads_received,
             "deliveries_deferred": self.deliveries_deferred,
             "answers_dropped": self.answers_dropped,
+            "payloads_staged": self._staging.payloads_staged,
+            "staged_flushes": self._staging.flushed_batches,
         }
 
     def _telemetry_tick(self) -> None:
@@ -998,6 +1087,48 @@ class PeerHost:
         body["metrics_delta"] = True
         return body
 
+    def _is_idle(self) -> bool:
+        """The cheap no-snapshot quiescence check the idle push gates on."""
+        return (
+            self.peer.service.is_quiescent
+            and not self.peer.outbox
+            and not self._staging.staged_count()
+            and not any(link.queued for link in self._links.values())
+            and not self._retry
+            and not self._submit_retry
+        )
+
+    def _idle_push(self) -> None:
+        """Push one unsolicited went-idle status delta to the coordinator.
+
+        The event-driven half of the watermark drain: the moment this peer
+        settles (service quiescent, nothing staged, queued, or parked) it
+        pushes a telemetry frame carrying its final per-link watermarks and
+        activity seq, so the coordinator's ``drain()`` blocks on its
+        selector instead of pacing status rounds.  One push per activity
+        seq — a peer that stays idle stays silent — and it fires regardless
+        of ``telemetry_interval``, so the watermark drain works with
+        periodic heartbeats off.
+        """
+        if self._coordinator is None or self._coordinator.closed:
+            return
+        if self._activity_seq == self._idle_pushed_at:
+            return
+        if self._halted or not self._is_idle():
+            return
+        self._idle_pushed_at = self._activity_seq
+        self._telemetry_seq += 1
+        # Same discipline as the periodic heartbeat: the flight ring syncs
+        # to disk *before* the frame goes out, so anything the coordinator
+        # learns from this push is already covered by a postmortem dump.
+        self.flight.record("heartbeat", seq=self._telemetry_seq, idle=True)
+        self._flight_sync()
+        frame = encode_frame(FRAME_CONTROL, dumps(self._telemetry_body()))
+        try:
+            self._coordinator.send_bytes(frame)
+        except SocketTransportError:
+            pass
+
     def _flight_sync(self) -> None:
         """Copy tracer spans recorded since the last sync into the flight ring."""
         if not self.flight.enabled:
@@ -1047,11 +1178,13 @@ class PeerHost:
 
     def _status_reply(self, round_number: int) -> Dict:
         outbox = len(self.peer.outbox)
+        staged = self._staging.staged_count()
         queued = sum(link.queued for link in self._links.values())
         snapshot = self.peer.service.metrics_snapshot()
         quiescent = (
             self.peer.service.is_quiescent
             and not outbox
+            and not staged
             and not queued
             and not self._retry
             and not self._submit_retry
@@ -1063,7 +1196,9 @@ class PeerHost:
             "quiescent": quiescent,
             "halted": self._halted,
             "outbox": outbox,
+            "staged": staged,
             "queued": queued,
+            "activity_seq": self._activity_seq,
             "retry": len(self._retry) + len(self._submit_retry),
             "held": sorted(
                 peer for peer, link in self._links.items() if link.held

@@ -143,6 +143,10 @@ class ProcessFederation:
         dead_after: float = 2.0,
         flight: bool = True,
         flight_dir: Optional[str] = None,
+        stage_rounds: int = 1,
+        stage_bytes: int = 0,
+        stage_delay: float = 0.0,
+        drain_mode: Optional[str] = None,
     ):
         self.schema = schema
         self._initial = initial
@@ -185,6 +189,12 @@ class ProcessFederation:
             trace = os.environ.get("REPRO_TRACE") == "1"
         self._trace = trace
         self._startup_timeout = startup_timeout
+        # -- send-side staging window + drain protocol -------------------
+        self._stage_rounds = int(stage_rounds)
+        self._stage_bytes = int(stage_bytes)
+        self._stage_delay = float(stage_delay)
+        #: Default drain protocol (None = env REPRO_DRAIN, else watermark).
+        self._drain_mode = drain_mode
         self._owns_workdir = workdir is None
         self.workdir = workdir or tempfile.mkdtemp(prefix="repro-fed-")
         os.makedirs(self.workdir, exist_ok=True)
@@ -209,6 +219,13 @@ class ProcessFederation:
         self._last_liveness: Dict[str, str] = {}
         #: Decomposition record of the most recent drain() (None before one).
         self.last_drain: Optional[Dict] = None
+        #: The watermark drain's working set: the latest status-shaped body
+        #: per peer that carried an ``activity_seq`` (unsolicited went-idle
+        #: pushes, heartbeats, and status replies all qualify).  Kept apart
+        #: from the timeline's merged view on purpose — kill/restart *clears*
+        #: a peer's entry, because a reborn peer resets its activity seq and
+        #: a stale pre-restart view could coincidentally match it.
+        self._watermarks: Dict[str, Dict] = {}
         self._spool_path = os.path.join(self.workdir, "telemetry.jsonl")
         try:
             self._spool_handle = open(self._spool_path, "a")
@@ -306,6 +323,9 @@ class ProcessFederation:
             restore=restore,
             telemetry_interval=self._telemetry_interval,
             flight_dir=self._flight_dir,
+            stage_rounds=self._stage_rounds,
+            stage_bytes=self._stage_bytes,
+            stage_delay=self._stage_delay,
         )
         config_path = os.path.join(self.workdir, "peer-{}.json".format(name))
         with open(config_path, "wb") as handle_file:
@@ -377,6 +397,8 @@ class ProcessFederation:
             pass
 
     def _observe_telemetry(self, peer: str, body: Dict, kind: str) -> None:
+        if "activity_seq" in body:
+            self._watermarks[peer] = body
         self.timeline.observe(peer, body, kind=kind)
         self._spool({
             "rec": "telemetry",
@@ -603,18 +625,60 @@ class ProcessFederation:
         self,
         answer_strategy: Optional[AnswerStrategy] = None,
         timeout: float = 60.0,
+        mode: Optional[str] = None,
     ) -> int:
-        """Poll, answer, and status-barrier until the federation is drained.
+        """Poll, answer, and wait until the federation is drained.
 
-        Quiescence must hold across *two consecutive* status rounds with an
-        identical counter fingerprint: a single settled round can race a
-        frame that left one peer after its reply and lands at another before
-        the coordinator looks again.  Returns the number of status rounds.
+        Two protocols decide the same distributed condition; *mode* (then
+        the constructor's ``drain_mode``, then ``REPRO_DRAIN``, default
+        ``watermark``) picks which one runs:
 
-        Each call leaves a latency-decomposition record (round count,
-        per-round wall seconds, settle reason) on ``self.last_drain`` and
-        the telemetry timeline's ``drains`` list.
+        * ``watermark`` — conservation-based, event-driven.  Peers push an
+          unsolicited went-idle status delta the moment they settle; the
+          coordinator blocks on its selector until every live peer's view
+          is quiescent with every link's frames-sent equal to the
+          destination's frames-received, then issues exactly one confirming
+          status round.  Drained iff the confirm round is settled and no
+          peer's monotonic ``activity_seq`` advanced since its view was
+          observed — an unchanged seq brackets the gap, so no frame can
+          have moved in between.
+        * ``poll`` — the original paced barrier, kept as the differential
+          oracle: status rounds until quiescence holds across two
+          *consecutive* rounds with an identical counter fingerprint.
+
+        Returns the number of status rounds.  Each call leaves a
+        latency-decomposition record (round count, per-round wall seconds,
+        settle reason, mode, time-to-idle) on ``self.last_drain`` and the
+        telemetry timeline's ``drains`` list.
         """
+        mode = (
+            mode
+            or self._drain_mode
+            or os.environ.get("REPRO_DRAIN")
+            or "watermark"
+        )
+        if mode not in ("watermark", "poll"):
+            raise ProcessFederationError(
+                "unknown drain mode {!r} (use 'watermark' or 'poll')".format(mode)
+            )
+        # Settle state never survives across drain calls: a previous drain
+        # that died mid-round (peer-lost, timeout) can leave status replies
+        # parked that no awaiter will ever claim.
+        self._reset_drain_state()
+        if mode == "poll":
+            return self._drain_poll(answer_strategy, timeout)
+        return self._drain_watermark(answer_strategy, timeout)
+
+    def _reset_drain_state(self) -> None:
+        """Drop status replies a previous (aborted) drain left parked."""
+        for handle in self._handles.values():
+            handle.replies.pop("status-reply", None)
+
+    def _drain_poll(
+        self,
+        answer_strategy: Optional[AnswerStrategy],
+        timeout: float,
+    ) -> int:
         deadline = time.monotonic() + timeout
         started = time.monotonic()
         round_seconds: List[float] = []
@@ -651,7 +715,7 @@ class ProcessFederation:
                             continue
                         self._record_drain(
                             rounds, started, round_seconds,
-                            "two-round-fingerprint",
+                            "two-round-fingerprint", "poll",
                         )
                         return rounds
                     settled_fingerprint = fingerprint
@@ -659,33 +723,141 @@ class ProcessFederation:
                     settled_fingerprint = None
                 if time.monotonic() > deadline:
                     self._record_drain(
-                        rounds, started, round_seconds, "timeout"
+                        rounds, started, round_seconds, "timeout", "poll"
                     )
                     raise RuntimeError(
-                        "process federation failed to drain within {}s: "
-                        "liveness={} {}".format(
-                            timeout,
-                            {
-                                name: entry["state"]
-                                for name, entry in self.liveness().items()
-                            },
-                            {
-                                name: {
-                                    key: reply[key]
-                                    for key in (
-                                        "quiescent", "outbox", "queued",
-                                        "retry", "held", "sent", "received",
-                                    )
-                                }
-                                for name, reply in replies.items()
-                            },
-                        )
+                        self._drain_timeout_message(timeout, replies)
                     )
         except ProcessFederationError:
             # A status round hung on a dead/stalled peer: record what the
             # drain managed before surfacing the coordination failure.
-            self._record_drain(rounds, started, round_seconds, "peer-lost")
+            self._record_drain(
+                rounds, started, round_seconds, "peer-lost", "poll"
+            )
             raise
+
+    def _drain_watermark(
+        self,
+        answer_strategy: Optional[AnswerStrategy],
+        timeout: float,
+    ) -> int:
+        deadline = time.monotonic() + timeout
+        started = time.monotonic()
+        round_seconds: List[float] = []
+        rounds = 0
+        time_to_idle: Optional[float] = None
+        try:
+            while True:
+                self.poll(0.0)
+                # Live names *after* the poll: an EOF processed just now
+                # must not leave us sending a status frame to a dead channel.
+                names = [
+                    name for name, handle in self._handles.items()
+                    if handle.channel is not None
+                ]
+                if answer_strategy is not None:
+                    for peer_name in names:
+                        for question in self.inbox(peer_name):
+                            self.answer(
+                                peer_name, question, answer_strategy(question)
+                            )
+                views = {
+                    name: self._watermarks[name]
+                    for name in names
+                    if name in self._watermarks
+                }
+                if len(views) < len(names) or not self._round_settled(views):
+                    # Not a candidate yet.  A peer with no observation at
+                    # all (fresh spawn, cleared by restart) needs one paced
+                    # round to seed its view; otherwise block on the
+                    # selector until a went-idle push (or heartbeat) moves
+                    # some view — the event-driven wait that replaces poll
+                    # mode's fixed-cadence rounds.
+                    if len(views) < len(names):
+                        round_started = time.monotonic()
+                        self._status_round(names, deadline)
+                        round_seconds.append(time.monotonic() - round_started)
+                        rounds += 1
+                    else:
+                        time_to_idle = None
+                        self.poll(
+                            min(0.25, max(0.0, deadline - time.monotonic()))
+                        )
+                    if time.monotonic() > deadline:
+                        self._record_drain(
+                            rounds, started, round_seconds, "timeout",
+                            "watermark",
+                        )
+                        raise RuntimeError(
+                            self._drain_timeout_message(timeout, views)
+                        )
+                    continue
+                # Candidate: every live peer's last observation is idle and
+                # the per-link watermarks conserve.  One confirming status
+                # round decides it — if no activity seq moved between each
+                # view and its confirm reply, nothing was in flight when the
+                # views were taken, so the settled confirm is the truth.
+                if time_to_idle is None:
+                    time_to_idle = time.monotonic() - started
+                trigger = {
+                    name: view["activity_seq"] for name, view in views.items()
+                }
+                round_started = time.monotonic()
+                replies = self._status_round(names, deadline)
+                round_seconds.append(time.monotonic() - round_started)
+                rounds += 1
+                if self._round_settled(replies) and all(
+                    replies[name]["activity_seq"] == trigger[name]
+                    for name in names
+                ):
+                    open_questions = sum(
+                        len(self._inboxes[name]) for name in names
+                    )
+                    if answer_strategy is not None and open_questions:
+                        continue
+                    self._record_drain(
+                        rounds, started, round_seconds, "watermark-idle",
+                        "watermark", time_to_idle,
+                    )
+                    return rounds
+                # The candidate was stale (activity since the views were
+                # taken); the confirm replies just refreshed every view, so
+                # the next iteration re-evaluates from them.
+                time_to_idle = None
+                if time.monotonic() > deadline:
+                    self._record_drain(
+                        rounds, started, round_seconds, "timeout", "watermark"
+                    )
+                    raise RuntimeError(
+                        self._drain_timeout_message(timeout, replies)
+                    )
+        except ProcessFederationError:
+            self._record_drain(
+                rounds, started, round_seconds, "peer-lost", "watermark"
+            )
+            raise
+
+    def _drain_timeout_message(self, timeout: float, replies: Dict[str, Dict]) -> str:
+        return (
+            "process federation failed to drain within {}s: "
+            "liveness={} {}".format(
+                timeout,
+                {
+                    name: entry["state"]
+                    for name, entry in self.liveness().items()
+                },
+                {
+                    name: {
+                        key: reply.get(key)
+                        for key in (
+                            "quiescent", "outbox", "queued",
+                            "retry", "held", "sent", "received",
+                        )
+                    }
+                    for name, reply in replies.items()
+                },
+            )
+        )
 
     def _record_drain(
         self,
@@ -693,13 +865,18 @@ class ProcessFederation:
         started: float,
         round_seconds: List[float],
         settle_reason: str,
+        mode: str,
+        time_to_idle: Optional[float] = None,
     ) -> None:
         record = {
             "rounds": rounds,
             "seconds": time.monotonic() - started,
             "round_seconds": [round(value, 6) for value in round_seconds],
             "settle_reason": settle_reason,
+            "mode": mode,
         }
+        if time_to_idle is not None:
+            record["time_to_idle_seconds"] = round(time_to_idle, 6)
         self.last_drain = record
         self.timeline.record_drain(record)
         self._spool({"rec": "drain", "wall": time.time(), "drain": record})
@@ -785,6 +962,10 @@ class ProcessFederation:
         """
         handle = self._handles[name]
         self._expect_eof.add(name)
+        # A dead peer's last observation is no longer a watermark: its
+        # reborn process restarts the activity seq, and a stale view could
+        # coincidentally match the fresh one.
+        self._watermarks.pop(name, None)
         if handle.channel is not None:
             self._selector.unregister(handle.channel)
             handle.channel.close()
@@ -816,6 +997,7 @@ class ProcessFederation:
                 raise ProcessFederationError(
                     "peer {!r} is still running; kill_peer first".format(name)
                 )
+        self._watermarks.pop(name, None)
         self._spawn(name, restore=path)
         self._connect(name)
         # The reborn process starts a fresh heartbeat stream.

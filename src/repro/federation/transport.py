@@ -122,6 +122,13 @@ class Transport:
         #: Counters for the metrics snapshot.
         self.sent = 0
         self.delivered = 0
+        #: Per-directed-link send/receive watermarks (the in-process twin of
+        #: the socket federation's frames_sent / frames_received vectors):
+        #: for every link, ``sent - delivered`` equals its queue length, so
+        #: the conservation check "all watermarks equal" is exactly
+        #: "nothing in flight".
+        self.link_sent: Dict[PyTuple[str, str], int] = {}
+        self.link_delivered: Dict[PyTuple[str, str], int] = {}
         self.bundles_sent = 0
         self.payloads_sent = 0
         self.wire_bytes_sent = 0
@@ -206,6 +213,8 @@ class Transport:
         )
         self._queues.setdefault((source, destination), deque()).append(envelope)
         self.sent += 1
+        link = (source, destination)
+        self.link_sent[link] = self.link_sent.get(link, 0) + 1
         self.payloads_sent += len(payload) if isinstance(payload, Bundle) else 1
         if self.tracer.enabled:
             context = getattr(payload, "trace", None)
@@ -278,6 +287,9 @@ class Transport:
         if self._rng is not None and len(deliverable) > 1:
             self._rng.shuffle(deliverable)
         self.delivered += len(deliverable)
+        for envelope in deliverable:
+            link = (envelope.source, envelope.destination)
+            self.link_delivered[link] = self.link_delivered.get(link, 0) + 1
         if self.wire:
             # Decode at the delivery boundary: receivers get fresh objects
             # reconstructed from the bytes, never the sender's instances.
@@ -325,6 +337,13 @@ class Transport:
     def pending(self, source: str, destination: str) -> int:
         """Messages queued on one directed link."""
         return len(self._queues.get((source, destination), ()))
+
+    def watermarks_conserved(self) -> bool:
+        """True when every directed link's deliveries caught up with sends."""
+        return all(
+            self.link_delivered.get(link, 0) == sent
+            for link, sent in self.link_sent.items()
+        )
 
     def metrics(self) -> Dict[str, int]:
         """Flat counters for the federation metrics snapshot."""

@@ -25,7 +25,7 @@ from repro.federation import (
 from repro.service.tickets import TicketStatus
 
 
-def chain_fixture(delay=1, reorder_seed=None):
+def chain_fixture(delay=1, reorder_seed=None, stage_rounds=1):
     schema = DatabaseSchema.from_dict(
         {"A1": ["x"], "A2": ["x", "y"], "B1": ["x"], "B2": ["x"]}
     )
@@ -47,6 +47,7 @@ def chain_fixture(delay=1, reorder_seed=None):
         mappings,
         ownership={"a": ["A1", "A2"], "b": ["B1", "B2"]},
         transport=Transport(delay=delay, reorder_seed=reorder_seed),
+        stage_rounds=stage_rounds,
     )
     return schema, mappings, initial, network
 
@@ -65,6 +66,31 @@ def test_forward_cascade_across_peers():
         schema, initial, mappings, [InsertOperation(make_tuple("A1", "v1"))]
     )
     assert check_convergence(network, reference).equivalent
+
+
+def test_staged_flush_converges_to_the_same_state():
+    """A multi-round staging window delays flushes but changes no answers.
+
+    With ``stage_rounds=3`` a peer's outbox parks for up to two extra pump
+    rounds before hitting the transport; quiescence must keep counting the
+    parked envelopes (both the classic and the watermark detector), and the
+    drained state must match the unstaged run and the reference chase.
+    """
+    schema, mappings, initial, network = chain_fixture(stage_rounds=3)
+    operations = [
+        InsertOperation(make_tuple("A1", "v1")),
+        InsertOperation(make_tuple("A1", "v2")),
+    ]
+    for operation in operations:
+        network.submit("a", operation)
+    rounds = network.run_until_quiescent()
+    assert rounds >= 3  # the window held the first firing back
+    reference = reference_chase(schema, initial, mappings, operations)
+    assert check_convergence(network, reference).equivalent
+    metrics = network.metrics()
+    assert metrics["firings_emitted"] >= 1
+    # The parked-set bookkeeping is empty again after the drain.
+    assert network.quiescent() and network.watermark_quiescent()
 
 
 def test_backward_retraction_cascades_to_source_peer():

@@ -144,6 +144,48 @@ def test_forward_cascade_across_processes(tmp_path, transport):
     assert databases_equivalent(snapshot, reference.final)
 
 
+def test_staging_window_batches_the_wire_and_converges(tmp_path):
+    """Adaptive send staging parks payloads without changing drained state.
+
+    With a 4-round/25 ms staging window the peers hold outgoing envelopes
+    across scheduler pump rounds before flushing; the drain (watermark
+    protocol — the staged set must count against quiescence) still settles
+    to the reference state, and the wire metrics prove the window actually
+    staged and flushed batches rather than degenerating to passthrough.
+    """
+    schema, mappings, initial = chain_pieces()
+    operations = [
+        InsertOperation(make_tuple("A1", "v{}".format(index)))
+        for index in range(4)
+    ]
+    with running(ProcessFederation(
+        schema,
+        initial,
+        mappings,
+        ownership={"a": ["A1", "A2"], "b": ["B1", "B2"]},
+        stage_rounds=4,
+        stage_delay=0.025,
+        workdir=str(tmp_path),
+    )) as federation:
+        tickets = [federation.submit("a", operation) for operation in operations]
+        federation.drain(timeout=DRAIN_TIMEOUT)
+        assert all(ticket.status is TicketStatus.COMMITTED for ticket in tickets)
+        metrics = federation.metrics()
+        staged = sum(
+            (view.get("metrics") or {}).get("wire_payloads_staged", 0)
+            for view in metrics.values()
+        )
+        flushes = sum(
+            (view.get("metrics") or {}).get("wire_staged_flushes", 0)
+            for view in metrics.values()
+        )
+        assert staged >= 1, "the window never staged a payload"
+        assert flushes >= 1, "the window never flushed a batch"
+        snapshot = federation.global_snapshot()
+    reference = reference_chase(schema, initial, mappings, operations)
+    assert databases_equivalent(snapshot, reference.final)
+
+
 def test_user_update_routed_to_owner_process(tmp_path):
     schema, mappings, initial = chain_pieces()
     with running(ProcessFederation(
@@ -200,7 +242,10 @@ def test_randomized_sockets_match_inprocess_and_reference(
     assert databases_equivalent(socket_snapshot, inprocess)
 
 
-def test_delay_and_reorder_sockets_converge(tmp_path):
+# Both drain protocols on purpose: delayed, reordered links are exactly
+# where a premature watermark candidate would tempt an unsound detector.
+@pytest.mark.parametrize("drain_mode", ["watermark", "poll"])
+def test_delay_and_reorder_sockets_converge(tmp_path, drain_mode):
     config = FederationScenarioConfig(num_peers=4, cross_mappings=6, seed=1)
     environment = generate_federation_environment(config)
     with running(ProcessFederation(
@@ -214,14 +259,64 @@ def test_delay_and_reorder_sockets_converge(tmp_path):
     )) as federation:
         tickets = _submit_all(federation, environment)
         federation.drain(
-            answer_strategy=expanding_answer, timeout=DRAIN_TIMEOUT
+            answer_strategy=expanding_answer,
+            timeout=DRAIN_TIMEOUT,
+            mode=drain_mode,
         )
         assert all(ticket.is_done for ticket in tickets)
+        assert federation.last_drain["mode"] == drain_mode
         snapshot = federation.global_snapshot()
     assert databases_equivalent(snapshot, _reference(environment).final)
 
 
-def test_partition_then_heal_sockets_converge(tmp_path):
+def test_drain_modes_agree_on_randomized_topology(tmp_path):
+    """Watermark and poll drains settle the same state with the same keys.
+
+    The same randomized scenario runs once per protocol; both must match
+    the single-repository reference chase, and the post-drain ``metrics()``
+    documents must carry bit-identical key sets (top-level peers, per-peer
+    status keys, and per-peer metric-registry keys) so dashboards cannot
+    tell the protocols apart.
+    """
+    config = FederationScenarioConfig(num_peers=3, cross_mappings=5, seed=7)
+    snapshots = {}
+    metric_shapes = {}
+    for drain_mode in ("watermark", "poll"):
+        environment = generate_federation_environment(config)
+        workdir = tmp_path / drain_mode
+        workdir.mkdir()
+        with running(ProcessFederation(
+            environment.schema,
+            environment.initial,
+            list(environment.mappings),
+            environment.ownership,
+            workdir=str(workdir),
+        )) as federation:
+            tickets = _submit_all(federation, environment)
+            federation.drain(
+                answer_strategy=expanding_answer,
+                timeout=DRAIN_TIMEOUT,
+                mode=drain_mode,
+            )
+            assert all(ticket.is_done for ticket in tickets)
+            snapshots[drain_mode] = federation.global_snapshot()
+            metrics = federation.metrics()
+            metric_shapes[drain_mode] = {
+                peer: (
+                    frozenset(view.keys()),
+                    frozenset((view.get("metrics") or {}).keys()),
+                )
+                for peer, view in metrics.items()
+            }
+        assert databases_equivalent(
+            snapshots[drain_mode], _reference(environment).final
+        )
+    assert databases_equivalent(snapshots["watermark"], snapshots["poll"])
+    assert metric_shapes["watermark"] == metric_shapes["poll"]
+
+
+@pytest.mark.parametrize("drain_mode", ["watermark", "poll"])
+def test_partition_then_heal_sockets_converge(tmp_path, drain_mode):
     config = FederationScenarioConfig(
         num_peers=3, cross_mappings=6, remote_insert_fraction=0.5, seed=4
     )
@@ -260,7 +355,9 @@ def test_partition_then_heal_sockets_converge(tmp_path):
         federation.heal(peers[0], peers[1])
         federation.heal(peers[1], peers[2])
         federation.drain(
-            answer_strategy=expanding_answer, timeout=DRAIN_TIMEOUT
+            answer_strategy=expanding_answer,
+            timeout=DRAIN_TIMEOUT,
+            mode=drain_mode,
         )
         assert all(ticket.is_done for ticket in tickets)
         snapshot = federation.global_snapshot()
@@ -273,8 +370,15 @@ def test_partition_then_heal_sockets_converge(tmp_path):
 # Both transports on purpose: a TCP connection to a killed peer can absorb
 # one sendall without an error (the RST races the write), so survivors must
 # reset their outgoing links before the release — UDS alone never sees it.
-@pytest.mark.parametrize("transport", ["unix", "tcp"])
-def test_kill_and_restart_peer_process_converges(tmp_path, transport):
+# Watermark mode on both transports: a reborn peer resets its activity
+# sequence, so kill/restart is where a stale coordinator watermark view
+# could fake quiescence.  Poll mode rides along once as the control.
+@pytest.mark.parametrize("transport,drain_mode", [
+    ("unix", "watermark"),
+    ("tcp", "watermark"),
+    ("unix", "poll"),
+])
+def test_kill_and_restart_peer_process_converges(tmp_path, transport, drain_mode):
     config = FederationScenarioConfig(
         num_peers=3,
         cross_mappings=6,
@@ -310,7 +414,9 @@ def test_kill_and_restart_peer_process_converges(tmp_path, transport):
         federation.restart_peer(victim, path)
         assert federation._handles[victim].process.pid != old_pid
         federation.drain(
-            answer_strategy=expanding_answer, timeout=DRAIN_TIMEOUT
+            answer_strategy=expanding_answer,
+            timeout=DRAIN_TIMEOUT,
+            mode=drain_mode,
         )
         assert all(ticket.is_done for ticket in tickets)
         snapshot = federation.global_snapshot()

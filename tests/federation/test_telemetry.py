@@ -108,14 +108,23 @@ PINNED_METRIC_KEYS = {
     # socket-layer counters (the wire_ producer added by this PR)
     "wire_frames_sent", "wire_frames_received", "wire_payloads_received",
     "wire_deliveries_deferred", "wire_answers_dropped",
+    # send-side staging window counters
+    "wire_payloads_staged", "wire_staged_flushes",
+    # SQL-chase evaluator counters (zeros with the path off, so the key set
+    # is identical with and without REPRO_SQL_CHASE — the silent-fallback
+    # counter must show in repro-top either way)
+    "sql_chase_enabled", "sql_chase_evaluations",
+    "sql_chase_statements_rendered", "sql_chase_statement_cache_hits",
+    "sql_chase_python_fallbacks",
 }
 
 #: The status-shaped top-level keys metrics() must keep bit-compatible.
 PINNED_STATUS_KEYS = {
-    "peer", "quiescent", "halted", "outbox", "queued", "retry", "held",
-    "sent", "received", "payloads_received", "open_questions", "committed",
-    "metrics", "deliveries_deferred", "answers_dropped", "firings_emitted",
-    "retractions_emitted", "notices_emitted", "envelopes_coalesced",
+    "peer", "quiescent", "halted", "outbox", "staged", "queued", "retry",
+    "held", "sent", "received", "payloads_received", "open_questions",
+    "committed", "metrics", "deliveries_deferred", "answers_dropped",
+    "firings_emitted", "retractions_emitted", "notices_emitted",
+    "envelopes_coalesced", "activity_seq",
 }
 
 
@@ -211,17 +220,143 @@ def test_watchdog_flags_a_stopped_peer_and_recovers(tmp_path):
 def test_drain_records_its_latency_decomposition(tmp_path):
     with running(chain_federation(tmp_path)) as federation:
         federation.submit("a", InsertOperation(make_tuple("A1", "v1")))
-        rounds = federation.drain(timeout=DRAIN_TIMEOUT)
+        # Explicit mode: this test pins each protocol's decomposition, so it
+        # must not float with the REPRO_DRAIN default (CI runs the whole
+        # suite under REPRO_DRAIN=poll as the differential oracle).
+        rounds = federation.drain(timeout=DRAIN_TIMEOUT, mode="watermark")
         record = federation.last_drain
         assert record is not None
-        assert record["rounds"] == rounds >= 2  # two-round fingerprint
-        assert record["settle_reason"] == "two-round-fingerprint"
+        # The watermark protocol needs at most one seeding round plus the
+        # single confirming round; with went-idle pushes seeding the views
+        # it is usually exactly one.
+        assert record["rounds"] == rounds >= 1
+        assert rounds <= 4  # never the poll barrier's paced cadence
+        assert record["settle_reason"] == "watermark-idle"
+        assert record["mode"] == "watermark"
+        assert record["time_to_idle_seconds"] >= 0.0
         assert len(record["round_seconds"]) == rounds
         assert record["seconds"] >= sum(record["round_seconds"]) * 0.5
         assert federation.timeline.drains[-1] is record
-        # The spool carries it too (what repro-top's footer renders).
+        assert federation.timeline.time_to_idle_series() == [
+            record["time_to_idle_seconds"]
+        ]
+        # The poll-mode oracle still settles the same federation and leaves
+        # its own decomposition (two consecutive identical fingerprints).
+        poll_rounds = federation.drain(timeout=DRAIN_TIMEOUT, mode="poll")
+        poll_record = federation.last_drain
+        assert poll_record["rounds"] == poll_rounds >= 2
+        assert poll_record["settle_reason"] == "two-round-fingerprint"
+        assert poll_record["mode"] == "poll"
+        assert "time_to_idle_seconds" not in poll_record
+        # The spool carries both (what repro-top's footer renders).
         with open(federation._spool_path) as handle:
-            assert any('"rec": "drain"' in line for line in handle)
+            assert sum('"rec": "drain"' in line for line in handle) >= 2
+
+
+# ----------------------------------------------------------------------
+# Satellite: drain settle state resets between calls (peer-lost sandwich)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["watermark", "poll"])
+def test_drain_twice_around_a_mid_drain_freeze(tmp_path, mode):
+    """A drain that dies on a lost peer must not poison the next drain.
+
+    SIGSTOP freezes b so the drain's status round times out (the
+    coordination failure records ``peer-lost``); after SIGCONT the thawed b
+    answers the *stale* round, and the second drain must settle cleanly —
+    the stale reply can neither satisfy nor corrupt the fresh rounds.
+    """
+    with running(chain_federation(tmp_path)) as federation:
+        ticket = federation.submit("a", InsertOperation(make_tuple("A1", "v1")))
+        federation.drain(timeout=DRAIN_TIMEOUT, mode=mode)
+        assert ticket.is_done
+        victim = federation._handles["b"].process.pid
+        os.kill(victim, signal.SIGSTOP)
+        try:
+            with pytest.raises(Exception) as failure:
+                federation.drain(timeout=3.0, mode=mode)
+            assert "timed out waiting" in str(failure.value)
+            assert federation.last_drain["settle_reason"] == "peer-lost"
+            assert federation.last_drain["mode"] == mode
+        finally:
+            os.kill(victim, signal.SIGCONT)
+        rounds = federation.drain(timeout=DRAIN_TIMEOUT, mode=mode)
+        assert rounds >= 1
+        record = federation.last_drain
+        assert record["settle_reason"] in (
+            "watermark-idle", "two-round-fingerprint"
+        )
+        assert record["mode"] == mode
+
+
+# ----------------------------------------------------------------------
+# Satellite: heartbeats between status rounds never double-count deltas
+# ----------------------------------------------------------------------
+def test_interleaved_heartbeats_and_status_rounds_never_double_count():
+    """Seeded fuzz over the delta/absolute interleaving.
+
+    Heartbeats carry metrics as deltas against the previous *heartbeat*
+    (the peer does not reset its delta base when it answers a status
+    round), status replies carry absolutes.  Whatever the interleaving —
+    in particular an unsolicited heartbeat landing between two fingerprint
+    rounds — the merged view must track the peer's true counters exactly:
+    applying a heartbeat delta on top of a status absolute would
+    double-count the interval.
+    """
+    import random
+
+    from repro.obs.timeline import TelemetryTimeline
+
+    rng = random.Random(0xD841)
+    for trial in range(40):
+        timeline = TelemetryTimeline(interval=0.1)
+        timeline.register_peer("p")
+        truth = {"committed": 0, "scheduler_steps": 0, "wire_frames_sent": 0}
+        heartbeat_base = dict(truth)
+        seq = 0
+        wall = 1000.0
+        for event in range(rng.randint(3, 25)):
+            wall += rng.random()
+            for key in truth:
+                truth[key] += rng.randint(0, 7)
+            if rng.random() < 0.5:
+                seq += 1
+                delta = {
+                    key: truth[key] - heartbeat_base[key] for key in truth
+                }
+                heartbeat_base = dict(truth)
+                timeline.observe(
+                    "p",
+                    {
+                        "t": "telemetry",
+                        "peer": "p",
+                        "seq": seq,
+                        "committed": truth["committed"],
+                        "metrics": delta,
+                        "metrics_delta": True,
+                    },
+                    kind="telemetry",
+                    now=wall,
+                )
+            else:
+                timeline.observe(
+                    "p",
+                    {
+                        "t": "status-reply",
+                        "round": event,
+                        "peer": "p",
+                        "committed": truth["committed"],
+                        "metrics": dict(truth),
+                    },
+                    kind="status",
+                    now=wall,
+                )
+            view = timeline.latest("p")
+            for key, expected in truth.items():
+                assert view["metrics"][key] == expected, (
+                    "trial {} event {}: {} drifted to {} (truth {})".format(
+                        trial, event, key, view["metrics"][key], expected
+                    )
+                )
 
 
 # ----------------------------------------------------------------------
